@@ -1,0 +1,371 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per exhibit), plus ablation benchmarks for
+// the design choices called out in DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes its experiment end-to-end on the benchmark
+// configuration (small topologies; see eval.BenchConfig) and reports
+// the headline metric of the exhibit via b.ReportMetric, so the shape
+// of the paper's results is visible straight from the bench output.
+// cmd/pcfeval runs the same experiments at the paper-scale defaults.
+package pcf_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"pcf/internal/core"
+	"pcf/internal/eval"
+	"pcf/internal/failures"
+	"pcf/internal/linsolve"
+	"pcf/internal/lp"
+	"pcf/internal/routing"
+	"pcf/internal/topology"
+	"pcf/internal/topozoo"
+	"pcf/internal/traffic"
+	"pcf/internal/tunnels"
+)
+
+func mustTable(b *testing.B, f func() (*eval.Table, error)) *eval.Table {
+	b.Helper()
+	t, err := f()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
+}
+
+// cell parses a float from a table cell that may carry a ratio suffix.
+func cell(b *testing.B, t *eval.Table, row, col int) float64 {
+	b.Helper()
+	s := t.Rows[row][col]
+	if i := strings.IndexByte(s, ' '); i >= 0 {
+		s = s[:i]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		b.Fatalf("cell %d,%d = %q: %v", row, col, t.Rows[row][col], err)
+	}
+	return v
+}
+
+// BenchmarkFig2_FFCTunnelChoice regenerates Figure 2: FFC-3 and FFC-4
+// vs the optimal on the Fig. 1 gadget, under 1 and 2 failures.
+func BenchmarkFig2_FFCTunnelChoice(b *testing.B) {
+	var t *eval.Table
+	for i := 0; i < b.N; i++ {
+		t = mustTable(b, eval.Fig2)
+	}
+	// Paper's numbers: f=1 -> 1.5, 1.0, 2.0; f=2 -> 0.5, 0.0, 1.0.
+	b.ReportMetric(cell(b, t, 0, 1), "FFC3_f1")
+	b.ReportMetric(cell(b, t, 0, 2), "FFC4_f1")
+	b.ReportMetric(cell(b, t, 0, 3), "Optimal_f1")
+}
+
+// BenchmarkTable1_Fig5Gadget regenerates Table 1: Optimal=1, FFC=0,
+// PCF-TF=2/3, PCF-LS=4/5, PCF-CLS=1, R3=0.
+func BenchmarkTable1_Fig5Gadget(b *testing.B) {
+	var t *eval.Table
+	for i := 0; i < b.N; i++ {
+		t = mustTable(b, eval.Table1)
+	}
+	b.ReportMetric(cell(b, t, 0, 0), "Optimal")
+	b.ReportMetric(cell(b, t, 0, 2), "PCF-TF")
+	b.ReportMetric(cell(b, t, 0, 3), "PCF-LS")
+	b.ReportMetric(cell(b, t, 0, 4), "PCF-CLS")
+}
+
+// BenchmarkFig8_FFCMoreTunnels regenerates Figure 8: FFC's demand
+// scale with 2/3/4 tunnels vs optimal across traffic matrices.
+func BenchmarkFig8_FFCMoreTunnels(b *testing.B) {
+	cfg := eval.BenchConfig()
+	var t *eval.Table
+	for i := 0; i < b.N; i++ {
+		t = mustTable(b, func() (*eval.Table, error) { return eval.Fig8(cfg) })
+	}
+	b.ReportMetric(cell(b, t, 0, 1), "FFC2_tm1")
+	b.ReportMetric(cell(b, t, 0, 3), "FFC4_tm1")
+	b.ReportMetric(cell(b, t, 0, 4), "Optimal_tm1")
+}
+
+// BenchmarkFig9_PCFTFvsFFCTunnels regenerates Figure 9: PCF-TF is
+// monotone in tunnels while FFC is not.
+func BenchmarkFig9_PCFTFvsFFCTunnels(b *testing.B) {
+	cfg := eval.BenchConfig()
+	var t *eval.Table
+	for i := 0; i < b.N; i++ {
+		t = mustTable(b, func() (*eval.Table, error) { return eval.Fig9(cfg) })
+	}
+	// Monotonicity assertion (Proposition 2).
+	for r := 1; r < len(t.Rows); r++ {
+		if cell(b, t, r, 2) < cell(b, t, r-1, 2)-1e-6 {
+			b.Fatal("PCF-TF degraded with more tunnels")
+		}
+	}
+	b.ReportMetric(cell(b, t, 2, 1), "FFC_4tunnels")
+	b.ReportMetric(cell(b, t, 2, 2), "PCFTF_4tunnels")
+}
+
+// BenchmarkFig10_RefTopologyCDF regenerates Figure 10: the per-TM
+// demand-scale ratios of the PCF schemes over FFC.
+func BenchmarkFig10_RefTopologyCDF(b *testing.B) {
+	cfg := eval.BenchConfig()
+	var t *eval.Table
+	for i := 0; i < b.N; i++ {
+		t = mustTable(b, func() (*eval.Table, error) { return eval.Fig10(cfg) })
+	}
+	sum := eval.SummarizeRatios(t)
+	b.ReportMetric(cell(b, sum, 0, 3), "PCFTF_mean_ratio")
+	b.ReportMetric(cell(b, sum, 2, 3), "PCFCLS_mean_ratio")
+}
+
+// BenchmarkFig11_AcrossTopologies regenerates Figure 11: ratios vs FFC
+// across topologies under single failures.
+func BenchmarkFig11_AcrossTopologies(b *testing.B) {
+	cfg := eval.BenchConfig()
+	var t *eval.Table
+	for i := 0; i < b.N; i++ {
+		t = mustTable(b, func() (*eval.Table, error) { return eval.Fig11(cfg) })
+	}
+	sum := eval.SummarizeRatios(t)
+	b.ReportMetric(cell(b, sum, 0, 3), "PCFTF_mean_ratio")
+	b.ReportMetric(cell(b, sum, 1, 3), "PCFLS_mean_ratio")
+	b.ReportMetric(cell(b, sum, 2, 3), "PCFCLS_mean_ratio")
+}
+
+// BenchmarkFig12_ThreeFailures regenerates Figure 12: the same
+// comparison under 3 simultaneous sub-link failures.
+func BenchmarkFig12_ThreeFailures(b *testing.B) {
+	cfg := eval.BenchConfig()
+	cfg.Topologies = []string{"Sprint"} // sub-link instances are 2x larger
+	cfg.MaxPairs = 16
+	var t *eval.Table
+	for i := 0; i < b.N; i++ {
+		t = mustTable(b, func() (*eval.Table, error) { return eval.Fig12(cfg) })
+	}
+	sum := eval.SummarizeRatios(t)
+	b.ReportMetric(cell(b, sum, 0, 3), "PCFTF_mean_ratio")
+	b.ReportMetric(cell(b, sum, 2, 3), "PCFCLS_mean_ratio")
+}
+
+// BenchmarkFig13_ThroughputOverhead regenerates Figure 13: reduction
+// in throughput overhead vs FFC with Θ = total throughput.
+func BenchmarkFig13_ThroughputOverhead(b *testing.B) {
+	cfg := eval.BenchConfig()
+	cfg.Topologies = []string{"Sprint"}
+	cfg.MaxPairs = 16
+	var t *eval.Table
+	for i := 0; i < b.N; i++ {
+		t = mustTable(b, func() (*eval.Table, error) { return eval.Fig13(cfg) })
+	}
+	b.ReportMetric(cell(b, t, 0, 2), "PCFTF_reduction_pct")
+	b.ReportMetric(cell(b, t, 0, 4), "PCFCLS_reduction_pct")
+}
+
+// BenchmarkFig14_SolveTime regenerates Figure 14: offline solve time
+// against topology size.
+func BenchmarkFig14_SolveTime(b *testing.B) {
+	cfg := eval.BenchConfig()
+	cfg.Topologies = []string{"Sprint"}
+	cfg.MaxPairs = 16
+	for i := 0; i < b.N; i++ {
+		mustTable(b, func() (*eval.Table, error) { return eval.Fig14(cfg) })
+	}
+}
+
+// BenchmarkSec52_TopSort regenerates §5.2: the LS fraction pruned by
+// PCF-CLS-TopSort and the retained demand scale.
+func BenchmarkSec52_TopSort(b *testing.B) {
+	cfg := eval.BenchConfig()
+	cfg.Topologies = []string{"Sprint", "B4"}
+	var t *eval.Table
+	for i := 0; i < b.N; i++ {
+		t = mustTable(b, func() (*eval.Table, error) { return eval.Sec52(cfg) })
+	}
+	b.ReportMetric(cell(b, t, 0, 1), "PCFCLS_sprint")
+	b.ReportMetric(cell(b, t, 0, 2), "TopSort_sprint")
+}
+
+// ---- Ablation benchmarks (DESIGN.md §6) ----
+
+func benchInstance(b *testing.B) *core.Instance {
+	b.Helper()
+	setup, err := eval.Prepare(eval.Options{Topology: "Sprint", Seed: 1, MaxPairs: 24, FailureBudget: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &core.Instance{
+		Graph: setup.Graph, TM: setup.TM, Tunnels: setup.Tunnels,
+		Failures: setup.Failures, Objective: core.DemandScale,
+	}
+}
+
+// BenchmarkAblation_Dualize solves PCF-TF with the appendix-style full
+// dualization.
+func BenchmarkAblation_Dualize(b *testing.B) {
+	in := benchInstance(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolvePCFTF(in, core.SolveOptions{Method: core.Dualize}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_CutGen solves the same instance with lazy scenario
+// cuts; both engines reach the same optimum.
+func BenchmarkAblation_CutGen(b *testing.B) {
+	in := benchInstance(b)
+	var v1, v2 float64
+	for i := 0; i < b.N; i++ {
+		p, err := core.SolvePCFTF(in, core.SolveOptions{Method: core.CutGen})
+		if err != nil {
+			b.Fatal(err)
+		}
+		v1 = p.Value
+	}
+	p, err := core.SolvePCFTF(in, core.SolveOptions{Method: core.Dualize})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v2 = p.Value
+	if v1-v2 > 1e-5 || v2-v1 > 1e-5 {
+		b.Fatalf("engines disagree: cutgen %g vs dualize %g", v1, v2)
+	}
+}
+
+// BenchmarkAblation_LSChoice compares the paper's flow-decomposition
+// LS generation against the direct shortest-path heuristic.
+func BenchmarkAblation_LSChoiceFlow(b *testing.B) {
+	in := benchInstance(b)
+	for i := 0; i < b.N; i++ {
+		clsIn, _, err := core.BuildCLS(in, core.FlowOptions{SparseSupport: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.SolvePCFCLS(clsIn, core.SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_LSChoiceQuick(b *testing.B) {
+	in := benchInstance(b)
+	for i := 0; i < b.N; i++ {
+		clsIn, _, err := core.BuildCLSQuick(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.SolvePCFCLS(clsIn, core.SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_RefactorPeriod measures the simplex at a tight vs
+// relaxed basis refactorization cadence.
+func BenchmarkAblation_RefactorPeriod(b *testing.B) {
+	in := benchInstance(b)
+	for _, period := range []int{100, 1500} {
+		b.Run(strconv.Itoa(period), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := core.SolveOptions{LP: lp.Options{RefactorEvery: period}}
+				if _, err := core.SolvePCFTF(in, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_LinearSystem compares the direct LU solve of the
+// online routing system against the distributed-style Gauss-Seidel
+// iteration the paper suggests (§4.3).
+func BenchmarkAblation_LinearSystem(b *testing.B) {
+	// A representative diagonally dominant reservation-style system.
+	n := 60
+	a := make([]float64, n*n)
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && (i+j)%7 == 0 {
+				a[i*n+j] = -0.2
+			}
+		}
+		rowSum := 0.0
+		for j := 0; j < n; j++ {
+			if j != i {
+				rowSum += -a[i*n+j]
+			}
+		}
+		a[i*n+i] = rowSum + 1
+		rhs[i] = float64(i%5) + 0.5
+	}
+	b.Run("LU", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := linsolve.Solve(a, rhs, n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("GaussSeidel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := linsolve.GaussSeidel(a, rhs, n, 10000, 1e-9); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkOnlineResponse measures the per-failure online operations
+// (§4): the linear-system realization and the proportional router —
+// the paper's point being that these are far cheaper than re-solving a
+// traffic-engineering LP.
+func BenchmarkOnlineResponse(b *testing.B) {
+	gad := topozoo.Fig4(3, 2, 3)
+	g := gad.Graph
+	ts := tunnels.NewSet(g)
+	for _, l := range g.Links() {
+		ts.MustAdd(topology.Pair{Src: l.A, Dst: l.B}, topology.Path{Arcs: []topology.ArcID{l.Forward()}})
+	}
+	pair := topology.Pair{Src: gad.S, Dst: gad.T}
+	in := &core.Instance{
+		Graph:   g,
+		TM:      traffic.Single(g.NumNodes(), pair, 1),
+		Tunnels: ts,
+		LSs: []core.LogicalSequence{{
+			ID: 0, Pair: pair, Hops: []topology.NodeID{gad.Aux["s1"], gad.Aux["s2"]},
+		}},
+		Failures:  failures.SingleLinks(g, 1),
+		Objective: core.DemandScale,
+	}
+	plan, err := core.SolvePCFLS(in, core.SolveOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := failures.Scenario{Dead: map[topology.LinkID]bool{0: true}}
+	b.Run("LinearSystem", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := routingRealize(plan, sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Proportional", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := routingProportional(plan, sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Thin indirections so the routing package import stays localized.
+func routingRealize(plan *core.Plan, sc failures.Scenario) (interface{}, error) {
+	return routing.Realize(plan, sc)
+}
+
+func routingProportional(plan *core.Plan, sc failures.Scenario) (interface{}, error) {
+	return routing.RealizeProportional(plan, sc)
+}

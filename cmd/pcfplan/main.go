@@ -1,0 +1,190 @@
+// pcfplan computes and prints a congestion-free bandwidth plan for one
+// topology and traffic matrix, and optionally validates it by replaying
+// every protected failure scenario.
+//
+//	pcfplan -topology Sprint -scheme pcf-tf -f 1 -pairs 20 -validate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"pcf/internal/core"
+	"pcf/internal/eval"
+	"pcf/internal/failures"
+	"pcf/internal/mcf"
+	"pcf/internal/routing"
+	"pcf/internal/topology"
+	"pcf/internal/traffic"
+	"pcf/internal/tunnels"
+)
+
+func main() {
+	topo := flag.String("topology", "Sprint", "Topology Zoo name")
+	linksFile := flag.String("links", "", "load the topology from a links file (cmd/topogen format) instead")
+	tmFile := flag.String("tm", "", "load the traffic matrix from a file (requires -links)")
+	scheme := flag.String("scheme", "pcf-tf", "ffc | pcf-tf | pcf-ls | pcf-cls")
+	f := flag.Int("f", 1, "simultaneous link failures to protect against")
+	pairs := flag.Int("pairs", 20, "top-K demand pairs")
+	seed := flag.Int64("seed", 1, "traffic matrix seed")
+	validate := flag.Bool("validate", false, "replay every scenario and verify the congestion-free property")
+	showRes := flag.Bool("reservations", false, "print per-tunnel reservations")
+	flag.Parse()
+
+	var setup *eval.Setup
+	var err error
+	if *linksFile != "" {
+		setup, err = prepareFromFiles(*linksFile, *tmFile, *seed, *pairs, *f)
+		*topo = *linksFile
+	} else {
+		setup, err = eval.Prepare(eval.Options{
+			Topology: *topo, Seed: *seed, MaxPairs: *pairs, FailureBudget: *f,
+		})
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d nodes, %d links, %d pairs, f=%d (%d scenarios), no-failure MLU %.3f\n",
+		*topo, setup.Graph.NumNodes(), setup.Graph.NumLinks(), len(setup.Pairs),
+		*f, setup.Failures.NumScenariosExact(), setup.MLU)
+
+	var name string
+	switch *scheme {
+	case "ffc":
+		name = eval.SchemeFFC
+	case "pcf-tf":
+		name = eval.SchemePCFTF
+	case "pcf-ls":
+		name = eval.SchemePCFLS
+	case "pcf-cls":
+		name = eval.SchemePCFCLS
+	default:
+		log.Fatalf("unknown scheme %q", *scheme)
+	}
+	res, err := setup.Run(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s guaranteed demand scale: %.4f (solved in %v)\n", res.Scheme, res.Value, res.Time.Round(1e6))
+
+	if *showRes || *validate {
+		// Recompute the plan itself for reservations / validation.
+		var plan *core.Plan
+		in := &core.Instance{
+			Graph: setup.Graph, TM: setup.TM, Tunnels: setup.Tunnels,
+			Failures: setup.Failures, Objective: core.DemandScale,
+		}
+		switch name {
+		case eval.SchemeFFC:
+			plan, err = core.SolveFFC(in, core.SolveOptions{})
+		case eval.SchemePCFTF:
+			plan, err = core.SolvePCFTF(in, core.SolveOptions{})
+		default:
+			clsIn, _, err2 := core.BuildCLSQuick(in)
+			if err2 != nil {
+				log.Fatal(err2)
+			}
+			plan, err = core.SolvePCFCLS(clsIn, core.SolveOptions{})
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *showRes {
+			printReservations(plan)
+		}
+		if *validate {
+			if err := routing.Validate(plan, routing.ValidateOptions{}); err != nil {
+				log.Fatalf("VALIDATION FAILED: %v", err)
+			}
+			fmt.Printf("validated: all %d scenarios congestion-free with all admitted demand delivered\n",
+				setup.Failures.NumScenariosExact())
+		}
+	}
+}
+
+func printReservations(plan *core.Plan) {
+	in := plan.Instance
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "pair\ttunnel path\treservation")
+	type row struct {
+		pair string
+		path string
+		res  float64
+	}
+	var rows []row
+	for _, p := range in.Tunnels.Pairs() {
+		for _, id := range in.Tunnels.ForPair(p) {
+			r := plan.TunnelRes[id]
+			if r <= 1e-9 {
+				continue
+			}
+			nodes := in.Tunnels.Tunnel(id).Path.Nodes(in.Graph)
+			names := make([]string, len(nodes))
+			for i, n := range nodes {
+				names[i] = in.Graph.NodeName(n)
+			}
+			rows = append(rows, row{p.String(), fmt.Sprint(names), r})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].res > rows[j].res })
+	const maxRows = 40
+	for i, r := range rows {
+		if i >= maxRows {
+			fmt.Fprintf(w, "... (%d more)\n", len(rows)-maxRows)
+			break
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.3f\n", r.pair, r.path, r.res)
+	}
+	w.Flush()
+}
+
+// prepareFromFiles builds a Setup from user-supplied topology (and
+// optionally traffic) files in cmd/topogen's text format.
+func prepareFromFiles(linksPath, tmPath string, seed int64, pairs, f int) (*eval.Setup, error) {
+	lf, err := os.Open(linksPath)
+	if err != nil {
+		return nil, err
+	}
+	defer lf.Close()
+	g, err := topology.ReadLinks(lf, linksPath)
+	if err != nil {
+		return nil, err
+	}
+	var tm *traffic.Matrix
+	if tmPath != "" {
+		tf, err := os.Open(tmPath)
+		if err != nil {
+			return nil, err
+		}
+		defer tf.Close()
+		tm, err = traffic.ReadMatrix(tf, g.NumNodes())
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		tm = traffic.Gravity(g, traffic.GravityOptions{Seed: seed, Jitter: 0.4})
+	}
+	keep := tm.TopPairs(pairs)
+	tm = tm.Restrict(keep)
+	mlu, err := mcf.MinMLU(g, tm)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := tunnels.Select(g, keep, tunnels.SelectOptions{PerPair: 3})
+	if err != nil {
+		return nil, err
+	}
+	return &eval.Setup{
+		Opts:     eval.Options{Topology: linksPath, Seed: seed, MaxPairs: pairs, FailureBudget: f, TunnelsPerPair: 3},
+		Graph:    g,
+		TM:       tm,
+		MLU:      mlu,
+		Pairs:    keep,
+		Tunnels:  ts,
+		Failures: failures.SingleLinks(g, f),
+	}, nil
+}

@@ -1,0 +1,71 @@
+// topogen emits the synthesized evaluation topologies and gravity
+// traffic matrices as text files, so external tools (or a Gurobi-based
+// cross-check) can consume the exact instances this repository
+// evaluates.
+//
+//	topogen -topology GEANT -seed 1 -out /tmp/geant
+//
+// writes /tmp/geant.links (one "nodeA nodeB capacity" line per link)
+// and /tmp/geant.tm (one "src dst demand" line per nonzero demand).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pcf/internal/eval"
+	"pcf/internal/topozoo"
+)
+
+func main() {
+	topo := flag.String("topology", "", "Topology Zoo name (empty = list all)")
+	seed := flag.Int64("seed", 1, "traffic matrix seed")
+	pairs := flag.Int("pairs", 0, "top-K demand pairs (0 = all)")
+	out := flag.String("out", "", "output path prefix (default: topology name)")
+	flag.Parse()
+
+	if *topo == "" {
+		fmt.Println("available topologies (paper Table 3):")
+		for _, e := range topozoo.Table3 {
+			fmt.Printf("  %-16s %3d nodes %3d edges\n", e.Name, e.Nodes, e.Edges)
+		}
+		return
+	}
+	setup, err := eval.Prepare(eval.Options{Topology: *topo, Seed: *seed, MaxPairs: *pairs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prefix := *out
+	if prefix == "" {
+		prefix = *topo
+	}
+	writeFile(prefix+".links", func(w *bufio.Writer) {
+		fmt.Fprintf(w, "# %s: %d nodes, %d links\n", *topo, setup.Graph.NumNodes(), setup.Graph.NumLinks())
+		for _, l := range setup.Graph.Links() {
+			fmt.Fprintf(w, "%d %d %g\n", l.A, l.B, l.Capacity)
+		}
+	})
+	writeFile(prefix+".tm", func(w *bufio.Writer) {
+		fmt.Fprintf(w, "# gravity TM seed %d, optimal no-failure MLU %.4f\n", *seed, setup.MLU)
+		for _, p := range setup.Pairs {
+			fmt.Fprintf(w, "%d %d %g\n", p.Src, p.Dst, setup.TM.At(p))
+		}
+	})
+	fmt.Printf("wrote %s.links and %s.tm (MLU %.4f)\n", prefix, prefix, setup.MLU)
+}
+
+func writeFile(path string, fill func(*bufio.Writer)) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fill(w)
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+// Quickstart: plan congestion-free bandwidth on a tiny WAN.
+//
+// This example builds a 5-node network, asks PCF-TF for the largest
+// fraction of a traffic matrix that can be guaranteed under ANY single
+// link failure, and prints the tunnel reservations that achieve it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pcf/internal/core"
+	"pcf/internal/failures"
+	"pcf/internal/topology"
+	"pcf/internal/traffic"
+	"pcf/internal/tunnels"
+)
+
+func main() {
+	// A small WAN: two data centers (ny, sf) and three transit sites.
+	g := topology.New("quickstart")
+	ny := g.AddNode("ny")
+	chi := g.AddNode("chi")
+	dal := g.AddNode("dal")
+	den := g.AddNode("den")
+	sf := g.AddNode("sf")
+	g.AddLink(ny, chi, 100)
+	g.AddLink(ny, dal, 60)
+	g.AddLink(chi, den, 100)
+	g.AddLink(chi, dal, 40)
+	g.AddLink(dal, den, 60)
+	g.AddLink(den, sf, 100)
+	g.AddLink(dal, sf, 60)
+
+	// Traffic: ny->sf 80 Gbps, sf->ny 40 Gbps.
+	tm := traffic.NewMatrix(g.NumNodes())
+	tm.Set(topology.Pair{Src: ny, Dst: sf}, 80)
+	tm.Set(topology.Pair{Src: sf, Dst: ny}, 40)
+
+	// Three quasi-disjoint tunnels per demand pair.
+	ts, err := tunnels.Select(g, tm.Pairs(0), tunnels.SelectOptions{PerPair: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	in := &core.Instance{
+		Graph:     g,
+		TM:        tm,
+		Tunnels:   ts,
+		Failures:  failures.SingleLinks(g, 1), // tolerate any 1 link failure
+		Objective: core.DemandScale,
+	}
+	plan, err := core.SolvePCFTF(in, core.SolveOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Guaranteed demand scale under any single link failure: %.3f\n", plan.Value)
+	fmt.Printf("(%.0f%% of every demand survives every single-link failure, congestion-free)\n\n", 100*plan.Value)
+	fmt.Println("Tunnel reservations:")
+	for _, p := range ts.Pairs() {
+		for _, id := range ts.ForPair(p) {
+			t := ts.Tunnel(id)
+			nodes := t.Path.Nodes(g)
+			names := make([]string, len(nodes))
+			for i, n := range nodes {
+				names[i] = g.NodeName(n)
+			}
+			fmt.Printf("  %s->%s via %v: %.1f Gbps\n",
+				g.NodeName(p.Src), g.NodeName(p.Dst), names, plan.TunnelRes[id])
+		}
+	}
+	fmt.Println("\nCompare with FFC (the prior state of the art):")
+	ffc, err := core.SolveFFC(in, core.SolveOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  FFC with the same 3 tunnels guarantees %.3f (PCF-TF is %.2fx better:\n",
+		ffc.Value, plan.Value/ffc.Value)
+	fmt.Println("  FFC must assume any 2 tunnels sharing a link die together)")
+	// FFC's best configuration is 2 disjoint tunnels — more tunnels
+	// HURT it (paper Fig. 8). PCF-TF only improves with more.
+	in2 := *in
+	in2.Tunnels = ts.Restrict(2)
+	ffc2, err := core.SolveFFC(&in2, core.SolveOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if plan.Value > ffc2.Value+1e-9 {
+		fmt.Printf("  FFC at its best (2 disjoint tunnels): %.3f — still %.2fx below PCF-TF\n",
+			ffc2.Value, plan.Value/ffc2.Value)
+	} else {
+		fmt.Printf("  FFC at its best (2 disjoint tunnels) reaches %.3f; PCF-TF gets the\n", ffc2.Value)
+		fmt.Println("  same guarantee while still benefiting from every additional tunnel.")
+	}
+}

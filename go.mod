@@ -1,0 +1,3 @@
+module pcf
+
+go 1.22

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pcf/internal/lp"
+	"pcf/internal/topology"
+	"pcf/internal/tunnels"
+)
+
+// Method selects how the for-all-failures constraints are handled.
+type Method int
+
+const (
+	// Auto picks Dualize for small instances and CutGen for large
+	// ones.
+	Auto Method = iota
+	// Dualize compiles every robust constraint via LP duality (the
+	// paper's appendix): one polynomial-size LP, solved once.
+	Dualize
+	// CutGen solves a master LP with lazily generated failure-scenario
+	// cuts, using the adversary polytope as a separation oracle. It
+	// reaches the same optimum as Dualize (both optimize over the LP
+	// relaxation of the failure set) and scales to larger networks.
+	CutGen
+)
+
+// SolveOptions tune the scheme solvers.
+type SolveOptions struct {
+	Method Method
+	// MaxRounds bounds cutting-plane rounds (default 60).
+	MaxRounds int
+	// Tol is the constraint violation tolerance (default 1e-7).
+	Tol float64
+	// LP passes options to the simplex solver.
+	LP lp.Options
+}
+
+func (o SolveOptions) withDefaults() SolveOptions {
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 60
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-7
+	}
+	return o
+}
+
+// advBuilder builds the per-pair adversary spec for a scheme.
+type advBuilder func(in *Instance, p topology.Pair, mv *masterVars) *advSpec
+
+// buildMaster creates the master model: reservation variables, the
+// admitted-fraction variables, link capacity rows (paper eq. 3) and the
+// objective Θ(z).
+func buildMaster(in *Instance, withLS bool) (*lp.Model, *masterVars) {
+	m := lp.NewModel()
+	mv := &masterVars{a: map[tunnels.ID]lp.Var{}, b: map[LSID]lp.Var{}}
+
+	for _, p := range in.Tunnels.Pairs() {
+		for _, tid := range in.Tunnels.ForPair(p) {
+			mv.a[tid] = m.AddNonNeg(fmt.Sprintf("a[%d]", tid))
+		}
+	}
+	if withLS {
+		for _, q := range in.LSs {
+			mv.b[q.ID] = m.AddNonNeg(fmt.Sprintf("b[%d]", q.ID))
+		}
+	}
+
+	demand := in.DemandPairs()
+	switch in.Objective {
+	case DemandScale:
+		z := m.AddNonNeg("z")
+		mv.zExpr = func(p topology.Pair) *lp.Expr {
+			if d := in.TM.At(p); d > 0 {
+				return lp.NewExpr().Add(d, z)
+			}
+			return lp.NewExpr()
+		}
+		m.SetObjective(lp.NewExpr().Add(1, z), lp.Maximize)
+	case Throughput:
+		zp := map[topology.Pair]lp.Var{}
+		obj := lp.NewExpr()
+		for _, p := range demand {
+			v := m.AddVar(fmt.Sprintf("z[%v]", p), 0, 1)
+			zp[p] = v
+			obj.Add(in.TM.At(p), v)
+		}
+		mv.zExpr = func(p topology.Pair) *lp.Expr {
+			if v, ok := zp[p]; ok {
+				return lp.NewExpr().Add(in.TM.At(p), v)
+			}
+			return lp.NewExpr()
+		}
+		m.SetObjective(obj, lp.Maximize)
+	}
+
+	// Capacity per arc: Σ_{l: arc ∈ l} a_l <= capacity (eq. 3).
+	perArc := make([][]lp.Var, in.Graph.NumArcs())
+	for _, p := range in.Tunnels.Pairs() {
+		for _, tid := range in.Tunnels.ForPair(p) {
+			for _, arc := range in.Tunnels.Tunnel(tid).Path.Arcs {
+				perArc[arc] = append(perArc[arc], mv.a[tid])
+			}
+		}
+	}
+	for arc, vars := range perArc {
+		if len(vars) == 0 {
+			continue
+		}
+		e := lp.NewExpr()
+		for _, v := range vars {
+			e.Add(1, v)
+		}
+		m.AddConstraint(fmt.Sprintf("cap[a%d]", arc), e, lp.LE,
+			in.Graph.ArcCapacity(topology.ArcID(arc)))
+	}
+	return m, mv
+}
+
+// solveScheme runs the selected engine for a scheme described by its
+// adversary builder.
+func solveScheme(in *Instance, scheme string, withLS bool, build advBuilder, opts SolveOptions) (*Plan, error) {
+	opts = opts.withDefaults()
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", scheme, err)
+	}
+	start := time.Now()
+
+	pairs := in.ConstraintPairs()
+	method := opts.Method
+	if method == Auto {
+		// Dualization is exact and fast for small instances; cut
+		// generation keeps the master small for larger ones.
+		if len(pairs)*in.Graph.NumLinks() <= 400 {
+			method = Dualize
+		} else {
+			method = CutGen
+		}
+	}
+
+	m, mv := buildMaster(in, withLS)
+	specs := make([]*advSpec, len(pairs))
+	for i, p := range pairs {
+		specs[i] = build(in, p, mv)
+	}
+
+	var sol *lp.Solution
+	var err error
+	switch method {
+	case Dualize:
+		for i, p := range pairs {
+			lp.RobustGE(m, fmt.Sprintf("resil[%v]", p), specs[i].poly,
+				specs[i].costs, specs[i].constPart, specs[i].rhs)
+		}
+		sol, err = lp.SolveWithOptions(m, opts.LP)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", scheme, err)
+		}
+	case CutGen:
+		sol, err = solveByCuts(m, specs, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", scheme, err)
+		}
+	}
+	if sol.Status != lp.StatusOptimal {
+		return nil, fmt.Errorf("%s: master LP %v", scheme, sol.Status)
+	}
+	return extractPlan(in, scheme, sol, mv, time.Since(start)), nil
+}
+
+// cut is one generated robust-constraint row: the spec evaluated at a
+// fixed adversary point.
+type cut struct {
+	expr *lp.Expr
+	pair topology.Pair
+	// seed cuts for the no-failure scenario are never dropped: they
+	// keep the master bounded.
+	pinned bool
+	// idleRounds counts consecutive rounds the cut was slack.
+	idleRounds int
+}
+
+// solveByCuts is the lazy-constraint engine. Every cut is the robust
+// constraint evaluated at one adversary point, so the master is always
+// a relaxation; when no pair's separation oracle finds a violation at
+// the master optimum, that point is feasible for the full constraint
+// set and hence optimal — regardless of which cuts are currently in
+// the master. That makes it safe to DROP cuts that stay slack, which
+// keeps the LP basis small (the dominant solve cost is quadratic in
+// the row count).
+func solveByCuts(base *lp.Model, specs []*advSpec, opts SolveOptions) (*lp.Solution, error) {
+	makeCut := func(spec *advSpec, w []float64, pinned bool) *cut {
+		e := lp.NewExpr()
+		e.AddExpr(1, spec.constPart)
+		for j, c := range spec.costs {
+			if c != nil && w[j] != 0 {
+				e.AddExpr(w[j], c)
+			}
+		}
+		e.AddExpr(-1, spec.rhs)
+		e.AddConst(0)
+		return &cut{expr: e, pair: spec.pair, pinned: pinned}
+	}
+
+	// Seed each pair with the no-failure scenario (keeps the master
+	// bounded from round one) and every single-unit failure touching
+	// the pair — for a budget of one failure these seeds are usually
+	// already the binding scenarios, so separation converges in a
+	// round or two instead of rediscovering them one by one.
+	var cuts []*cut
+	for _, spec := range specs {
+		for i, sc := range spec.seedScenarios() {
+			w := spec.scenarioPoint(sc)
+			if !spec.poly.Contains(w, 1e-9) {
+				return nil, fmt.Errorf("internal: seed scenario %v is not a polytope point for %v", sc, spec.pair)
+			}
+			cuts = append(cuts, makeCut(spec, w, i == 0))
+		}
+	}
+
+	costBuf := make([]float64, 0, 64)
+	for round := 0; round < opts.MaxRounds; round++ {
+		// Fresh master: base rows plus the active cuts.
+		m := base.Clone()
+		for _, c := range cuts {
+			m.AddConstraint(fmt.Sprintf("cut[%v]", c.pair), c.expr, lp.GE, 0)
+		}
+		sol, err := lp.SolveWithOptions(m, opts.LP)
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status != lp.StatusOptimal {
+			return sol, nil
+		}
+		// Age and drop cuts that stay slack (a cut is slack when its
+		// row value is strictly positive at the optimum). Dropping only
+		// pays off for large masters, and is disabled after the first
+		// rounds: a monotonically growing cut set guarantees finite
+		// convergence (there are finitely many polytope vertices),
+		// while indefinite dropping can oscillate.
+		if round < 4 && len(cuts) > 400 {
+			kept := cuts[:0]
+			for _, c := range cuts {
+				if !c.pinned && sol.Eval(c.expr) > opts.Tol {
+					c.idleRounds++
+				} else {
+					c.idleRounds = 0
+				}
+				if c.pinned || c.idleRounds < 2 {
+					kept = append(kept, c)
+				}
+			}
+			cuts = kept
+		}
+
+		violated := 0
+		for _, spec := range specs {
+			costBuf = costBuf[:0]
+			for _, c := range spec.costs {
+				if c == nil {
+					costBuf = append(costBuf, 0)
+				} else {
+					costBuf = append(costBuf, sol.Eval(c))
+				}
+			}
+			inner, w, err := spec.poly.Minimize(costBuf)
+			if err != nil {
+				return nil, err
+			}
+			lhs := sol.Eval(spec.constPart) + inner
+			rhs := sol.Eval(spec.rhs)
+			if lhs < rhs-opts.Tol {
+				cuts = append(cuts, makeCut(spec, w, false))
+				violated++
+			}
+		}
+		if violated == 0 {
+			return sol, nil
+		}
+	}
+	return nil, fmt.Errorf("cut generation did not converge in %d rounds", opts.MaxRounds)
+}
+
+func extractPlan(in *Instance, scheme string, sol *lp.Solution, mv *masterVars, dur time.Duration) *Plan {
+	plan := &Plan{
+		Scheme:    scheme,
+		Objective: in.Objective,
+		Value:     sol.Objective,
+		Z:         map[topology.Pair]float64{},
+		TunnelRes: map[tunnels.ID]float64{},
+		LSRes:     map[LSID]float64{},
+		SolveTime: dur,
+		Instance:  in,
+	}
+	for tid, v := range mv.a {
+		plan.TunnelRes[tid] = clampTiny(sol.Value(v))
+	}
+	for qid, v := range mv.b {
+		plan.LSRes[qid] = clampTiny(sol.Value(v))
+	}
+	for _, p := range in.DemandPairs() {
+		d := in.TM.At(p)
+		ze := mv.zExpr(p)
+		if d > 0 {
+			plan.Z[p] = clampTiny(sol.Eval(ze) / d)
+		}
+	}
+	return plan
+}
+
+func clampTiny(v float64) float64 {
+	if v < 1e-9 && v > -1e-9 {
+		return 0
+	}
+	return v
+}
+
+// SolveFFC computes FFC's bandwidth allocation (paper §2/§3.2, model
+// (P1) with failure set (5)). Logical sequences are ignored: FFC is a
+// pure tunnel scheme.
+func SolveFFC(in *Instance, opts SolveOptions) (*Plan, error) {
+	stripped := *in
+	stripped.LSs = nil
+	return solveScheme(&stripped, "FFC", false, buildFFCAdversary, opts)
+}
+
+// SolvePCFTF computes the PCF-TF allocation (paper §3.2): FFC's
+// response mechanism with the link-aware failure set (4).
+func SolvePCFTF(in *Instance, opts SolveOptions) (*Plan, error) {
+	stripped := *in
+	stripped.LSs = nil
+	return solveScheme(&stripped, "PCF-TF", false, buildPCFAdversary, opts)
+}
+
+// SolvePCFLS computes the PCF-LS allocation (paper §3.3, model (P2)).
+// All logical sequences must be unconditional.
+func SolvePCFLS(in *Instance, opts SolveOptions) (*Plan, error) {
+	for _, q := range in.LSs {
+		if q.Cond != nil {
+			return nil, fmt.Errorf("PCF-LS: LS %d has a condition; use SolvePCFCLS", q.ID)
+		}
+	}
+	return solveScheme(in, "PCF-LS", true, buildPCFAdversary, opts)
+}
+
+// SolvePCFCLS computes the PCF-CLS allocation (paper §3.4): logical
+// sequences may carry activation conditions.
+func SolvePCFCLS(in *Instance, opts SolveOptions) (*Plan, error) {
+	return solveScheme(in, "PCF-CLS", true, buildPCFAdversary, opts)
+}

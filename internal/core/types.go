@@ -1,0 +1,271 @@
+// Package core implements the paper's traffic-engineering schemes:
+// FFC (the prior state of the art), PCF-TF (better failure-structure
+// modeling, §3.2), PCF-LS (logical sequences, §3.3), PCF-CLS
+// (conditional logical sequences, §3.4), the logical-flow model with
+// its LS-decomposition heuristic (§3.5), and the R3 link-bypass
+// baseline. Every scheme computes bandwidth reservations that are
+// provably congestion-free over a failure set, by solving a linear
+// program whose robust (for-all-failures) constraints are either
+// dualized (the paper's appendix) or generated lazily as cutting
+// planes; both engines produce the same optimum.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"pcf/internal/failures"
+	"pcf/internal/topology"
+	"pcf/internal/traffic"
+	"pcf/internal/tunnels"
+)
+
+// Objective selects the metric Θ(z) (paper §3.1).
+type Objective int
+
+const (
+	// DemandScale maximizes the common fraction z of every demand that
+	// is guaranteed under all failures (1/z is the worst-case MLU).
+	DemandScale Objective = iota
+	// Throughput maximizes Σ_st d_st·min(1, z_st), the total
+	// guaranteed bandwidth.
+	Throughput
+)
+
+func (o Objective) String() string {
+	switch o {
+	case DemandScale:
+		return "demand-scale"
+	case Throughput:
+		return "throughput"
+	}
+	return "unknown"
+}
+
+// LSID identifies a logical sequence within an instance.
+type LSID int
+
+// Condition restricts when a conditional logical sequence is active:
+// all AliveLinks must be alive and all DeadLinks dead (paper §3.4 and
+// appendix). A nil *Condition means always active.
+type Condition struct {
+	AliveLinks []topology.LinkID
+	DeadLinks  []topology.LinkID
+}
+
+// Links returns every link the condition references.
+func (c *Condition) Links() []topology.LinkID {
+	out := append([]topology.LinkID(nil), c.AliveLinks...)
+	return append(out, c.DeadLinks...)
+}
+
+// Holds reports whether the condition is satisfied in a scenario.
+func (c *Condition) Holds(sc failures.Scenario) bool {
+	if c == nil {
+		return true
+	}
+	for _, l := range c.AliveLinks {
+		if sc.Dead[l] {
+			return false
+		}
+	}
+	for _, l := range c.DeadLinks {
+		if !sc.Dead[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// LinkDead is the common single-link condition used by PCF-CLS in the
+// paper's evaluation: the LS activates exactly when link l is dead.
+func LinkDead(l topology.LinkID) *Condition {
+	return &Condition{DeadLinks: []topology.LinkID{l}}
+}
+
+// LinkAlive activates the LS only while link l is alive (the condition
+// used in the paper's Fig. 5 example).
+func LinkAlive(l topology.LinkID) *Condition {
+	return &Condition{AliveLinks: []topology.LinkID{l}}
+}
+
+// LogicalSequence is the paper's LS abstraction (§3.3): traffic from
+// Pair.Src to Pair.Dst traverses the intermediate Hops in order; each
+// consecutive pair of hops is a logical segment whose traffic is in
+// turn carried by that segment pair's tunnels and LSs.
+type LogicalSequence struct {
+	ID   LSID
+	Pair topology.Pair
+	// Hops are the intermediate logical hops v1..vm (at least one;
+	// an LS with no intermediate hop would be the pair itself).
+	Hops []topology.NodeID
+	Cond *Condition
+}
+
+// Segments returns the logical segments (consecutive hop pairs).
+func (q LogicalSequence) Segments() []topology.Pair {
+	seq := make([]topology.NodeID, 0, len(q.Hops)+2)
+	seq = append(seq, q.Pair.Src)
+	seq = append(seq, q.Hops...)
+	seq = append(seq, q.Pair.Dst)
+	segs := make([]topology.Pair, 0, len(seq)-1)
+	for i := 0; i+1 < len(seq); i++ {
+		segs = append(segs, topology.Pair{Src: seq[i], Dst: seq[i+1]})
+	}
+	return segs
+}
+
+// Validate checks structural sanity of the LS.
+func (q LogicalSequence) Validate() error {
+	if len(q.Hops) == 0 {
+		return fmt.Errorf("core: LS %d for %v has no intermediate hops", q.ID, q.Pair)
+	}
+	prev := q.Pair.Src
+	for _, h := range q.Hops {
+		if h == prev {
+			return fmt.Errorf("core: LS %d repeats hop %d", q.ID, h)
+		}
+		prev = h
+	}
+	if prev == q.Pair.Dst {
+		return fmt.Errorf("core: LS %d last hop equals destination", q.ID)
+	}
+	return nil
+}
+
+// Instance bundles everything a scheme needs: the network, the demand,
+// the tunnels, optional logical sequences, the failure set to protect
+// against, and the metric.
+type Instance struct {
+	Graph     *topology.Graph
+	TM        *traffic.Matrix
+	Tunnels   *tunnels.Set
+	LSs       []LogicalSequence
+	Failures  *failures.Set
+	Objective Objective
+}
+
+// DemandPairs returns the pairs with positive demand.
+func (in *Instance) DemandPairs() []topology.Pair { return in.TM.Pairs(0) }
+
+// ConstraintPairs returns every pair that needs a resilience
+// constraint: pairs with demand, pairs that are endpoints of an LS, and
+// pairs that serve as a segment of some LS.
+func (in *Instance) ConstraintPairs() []topology.Pair {
+	seen := make(map[topology.Pair]bool)
+	var out []topology.Pair
+	add := func(p topology.Pair) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, p := range in.DemandPairs() {
+		add(p)
+	}
+	for _, q := range in.LSs {
+		add(q.Pair)
+		for _, s := range q.Segments() {
+			add(s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
+// lsLocal returns the LSs whose endpoints are exactly p (L(s,t)).
+func (in *Instance) lsLocal(p topology.Pair) []LSID {
+	var out []LSID
+	for _, q := range in.LSs {
+		if q.Pair == p {
+			out = append(out, q.ID)
+		}
+	}
+	return out
+}
+
+// lsThrough returns the LSs having p as a segment (Q(s,t)).
+func (in *Instance) lsThrough(p topology.Pair) []LSID {
+	var out []LSID
+	for _, q := range in.LSs {
+		for _, s := range q.Segments() {
+			if s == p {
+				out = append(out, q.ID)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks cross-component consistency.
+func (in *Instance) Validate() error {
+	if in.Graph == nil || in.TM == nil || in.Tunnels == nil || in.Failures == nil {
+		return fmt.Errorf("core: instance missing a component")
+	}
+	if in.TM.N() != in.Graph.NumNodes() {
+		return fmt.Errorf("core: TM dimension %d != %d nodes", in.TM.N(), in.Graph.NumNodes())
+	}
+	if err := in.TM.Validate(); err != nil {
+		return err
+	}
+	if len(in.DemandPairs()) == 0 {
+		return fmt.Errorf("core: instance has no demand (the objective would be unbounded)")
+	}
+	for i, q := range in.LSs {
+		if q.ID != LSID(i) {
+			return fmt.Errorf("core: LS %d has ID %d; IDs must be dense and ordered", i, q.ID)
+		}
+		if err := q.Validate(); err != nil {
+			return err
+		}
+	}
+	// Every constraint pair must have a tunnel or an LS: otherwise its
+	// constraint is trivially infeasible for positive demand.
+	for _, p := range in.ConstraintPairs() {
+		if len(in.Tunnels.ForPair(p)) == 0 && len(in.lsLocal(p)) == 0 {
+			return fmt.Errorf("core: pair %v has neither tunnels nor LSs", p)
+		}
+	}
+	return nil
+}
+
+// Plan is the output of a scheme: reservations plus the achieved
+// metric.
+type Plan struct {
+	Scheme    string
+	Objective Objective
+	// Value is the optimal metric value: the demand scale z, or the
+	// total guaranteed throughput.
+	Value float64
+	// Z is the admitted fraction per demand pair.
+	Z map[topology.Pair]float64
+	// TunnelRes is the reservation a_l per tunnel.
+	TunnelRes map[tunnels.ID]float64
+	// LSRes is the reservation b_q per logical sequence.
+	LSRes map[LSID]float64
+	// SolveTime is the wall-clock LP time.
+	SolveTime time.Duration
+	// Instance the plan was computed for.
+	Instance *Instance
+}
+
+// ScaledDemand returns z_p * d_p for a pair under this plan.
+func (p *Plan) ScaledDemand(pair topology.Pair) float64 {
+	return p.Z[pair] * p.Instance.TM.At(pair)
+}
+
+// TotalThroughput returns Σ_p z_p d_p.
+func (p *Plan) TotalThroughput() float64 {
+	total := 0.0
+	for pair, z := range p.Z {
+		total += z * p.Instance.TM.At(pair)
+	}
+	return total
+}

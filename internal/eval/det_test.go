@@ -1,0 +1,21 @@
+package eval
+
+import "testing"
+
+func TestDeterministicRuns(t *testing.T) {
+	var vals []float64
+	for i := 0; i < 3; i++ {
+		s, err := Prepare(Options{Topology: "Sprint", Seed: 1, MaxPairs: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run("FFC")
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, r.Value)
+	}
+	if vals[0] != vals[1] || vals[1] != vals[2] {
+		t.Fatalf("nondeterministic FFC: %v", vals)
+	}
+}

@@ -1,0 +1,372 @@
+// Package eval reproduces the paper's evaluation (§5): it prepares
+// instances the way the paper does (Topology Zoo graphs, gravity-model
+// demands scaled to an optimal MLU in [0.6, 0.63], quasi-disjoint
+// tunnels), runs every scheme, and emits the data series behind each
+// figure and table. cmd/pcfeval prints them; bench_test.go wraps them
+// in testing.B benchmarks.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"pcf/internal/core"
+	"pcf/internal/failures"
+	"pcf/internal/mcf"
+	"pcf/internal/topology"
+	"pcf/internal/topozoo"
+	"pcf/internal/traffic"
+	"pcf/internal/tunnels"
+)
+
+// Options configure instance preparation.
+type Options struct {
+	// Topology is a Table 3 name (see topozoo.Names).
+	Topology string
+	// Seed selects the traffic matrix (the paper uses 12 per topology).
+	Seed int64
+	// MaxPairs caps the demand pairs to the top-K by gravity demand
+	// (0 = all pairs). The paper solves all pairs with Gurobi; the
+	// pure-Go solver needs this cap on the biggest topologies —
+	// EXPERIMENTS.md records the caps used.
+	MaxPairs int
+	// TunnelsPerPair for the PCF schemes (paper: 3; 6 for sub-links).
+	TunnelsPerPair int
+	// FFCTunnels for FFC (paper: 2; 4 for sub-links).
+	FFCTunnels int
+	// FailureBudget is f, the number of simultaneous failures.
+	FailureBudget int
+	// SubLinkSplit > 1 splits each link into that many sub-links that
+	// fail independently (the paper's multi-failure setup uses 2).
+	SubLinkSplit int
+	// Objective is the metric (demand scale by default).
+	Objective core.Objective
+	// CLSMode selects how PCF-CLS generates logical sequences:
+	// "flow" runs the paper's logical-flow decomposition (§3.5),
+	// "quick" uses the direct shortest-path/bypass heuristic, and
+	// "" (auto) picks flow for small graphs and quick otherwise.
+	CLSMode string
+	// MLULow/MLUHigh is the target optimal no-failure MLU range.
+	MLULow, MLUHigh float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.TunnelsPerPair == 0 {
+		o.TunnelsPerPair = 3
+	}
+	if o.FFCTunnels == 0 {
+		o.FFCTunnels = 2
+	}
+	if o.FailureBudget == 0 {
+		o.FailureBudget = 1
+	}
+	if o.MLULow == 0 {
+		o.MLULow = 0.6
+	}
+	if o.MLUHigh == 0 {
+		o.MLUHigh = 0.63
+	}
+	return o
+}
+
+// Setup is a prepared evaluation instance.
+type Setup struct {
+	Opts     Options
+	Graph    *topology.Graph
+	TM       *traffic.Matrix
+	MLU      float64
+	Pairs    []topology.Pair
+	Tunnels  *tunnels.Set // TunnelsPerPair tunnels per pair
+	Failures *failures.Set
+}
+
+// Prepare loads the topology, prunes degree-one nodes, optionally
+// splits sub-links, generates and scales the traffic matrix, and
+// selects tunnels.
+func Prepare(o Options) (*Setup, error) {
+	o = o.withDefaults()
+	g, err := topozoo.Load(o.Topology)
+	if err != nil {
+		return nil, err
+	}
+	g, _ = g.PruneDegreeOne()
+	if o.SubLinkSplit > 1 {
+		g = g.SplitSubLinks(o.SubLinkSplit)
+	}
+	tm := traffic.Gravity(g, traffic.GravityOptions{Seed: o.Seed, Jitter: 0.4})
+	pairs := tm.TopPairs(o.MaxPairs)
+	tm = tm.Restrict(pairs)
+	tm, mlu, err := mcf.ScaleToMLU(g, tm, o.MLULow, o.MLUHigh)
+	if err != nil {
+		return nil, fmt.Errorf("eval: %s: %w", o.Topology, err)
+	}
+	ts, err := tunnels.Select(g, pairs, tunnels.SelectOptions{PerPair: o.TunnelsPerPair})
+	if err != nil {
+		return nil, fmt.Errorf("eval: %s: %w", o.Topology, err)
+	}
+	return &Setup{
+		Opts:     o,
+		Graph:    g,
+		TM:       tm,
+		MLU:      mlu,
+		Pairs:    pairs,
+		Tunnels:  ts,
+		Failures: failures.SingleLinks(g, o.FailureBudget),
+	}, nil
+}
+
+// instance builds a core.Instance with k tunnels per pair.
+func (s *Setup) instance(k int) *core.Instance {
+	ts := s.Tunnels
+	if k > 0 && k < s.Opts.TunnelsPerPair {
+		ts = s.Tunnels.Restrict(k)
+	}
+	return &core.Instance{
+		Graph:     s.Graph,
+		TM:        s.TM,
+		Tunnels:   ts,
+		Failures:  s.Failures,
+		Objective: s.Opts.Objective,
+	}
+}
+
+// Result is one scheme's outcome on a setup.
+type Result struct {
+	Scheme string
+	// Value is the metric (demand scale, or total throughput).
+	Value float64
+	// Time is the offline solve time.
+	Time time.Duration
+	// Extra carries scheme-specific notes (e.g. pruned LS fraction).
+	Extra string
+}
+
+// Scheme names understood by Run.
+const (
+	SchemeFFC           = "FFC"
+	SchemePCFTF         = "PCF-TF"
+	SchemePCFLS         = "PCF-LS"
+	SchemePCFCLS        = "PCF-CLS"
+	SchemePCFCLSTopSort = "PCF-CLS-TopSort"
+	SchemeR3            = "R3"
+	SchemeOptimal       = "Optimal"
+)
+
+// AllSchemes lists the schemes in the paper's presentation order.
+var AllSchemes = []string{
+	SchemeFFC, SchemePCFTF, SchemePCFLS, SchemePCFCLS, SchemeOptimal,
+}
+
+// Run executes one scheme on the setup.
+func (s *Setup) Run(scheme string) (Result, error) {
+	start := time.Now()
+	switch scheme {
+	case SchemeFFC:
+		in := s.instance(s.Opts.FFCTunnels)
+		plan, err := core.SolveFFC(in, core.SolveOptions{})
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Scheme: scheme, Value: plan.Value, Time: plan.SolveTime}, nil
+	case SchemePCFTF:
+		plan, err := core.SolvePCFTF(s.instance(0), core.SolveOptions{})
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Scheme: scheme, Value: plan.Value, Time: plan.SolveTime}, nil
+	case SchemePCFLS:
+		in, err := s.lsInstance()
+		if err != nil {
+			return Result{}, err
+		}
+		plan, err := core.SolvePCFLS(in, core.SolveOptions{})
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Scheme: scheme, Value: plan.Value, Time: plan.SolveTime}, nil
+	case SchemePCFCLS, SchemePCFCLSTopSort:
+		mode := s.Opts.CLSMode
+		if mode == "" {
+			if s.Graph.NumLinks() <= 24 {
+				mode = "flow"
+			} else {
+				mode = "quick"
+			}
+		}
+		var clsIn *core.Instance
+		var lss []core.LogicalSequence
+		var err error
+		if mode == "flow" {
+			clsIn, lss, err = core.BuildCLS(s.instance(0), core.FlowOptions{SparseSupport: 3})
+		} else {
+			clsIn, lss, err = core.BuildCLSQuick(s.instance(0))
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		if err := s.augmentUncondSegments(clsIn); err != nil {
+			return Result{}, err
+		}
+		extra := ""
+		if scheme == SchemePCFCLSTopSort {
+			kept, pruned := core.TopSortFilter(lss, s.Opts.FailureBudget == 1)
+			clsIn.LSs = kept
+			total := len(lss)
+			if total > 0 {
+				extra = fmt.Sprintf("pruned %d/%d LSs (%.2f%%)", pruned, total,
+					100*float64(pruned)/float64(total))
+			}
+			ts2, err := core.EnsureSegmentTunnels(clsIn.Tunnels, kept)
+			if err != nil {
+				return Result{}, err
+			}
+			clsIn.Tunnels = ts2
+		}
+		plan, err := core.SolvePCFCLS(clsIn, core.SolveOptions{})
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Scheme: scheme, Value: plan.Value, Time: time.Since(start), Extra: extra}, nil
+	case SchemeR3:
+		plan, err := core.SolveR3(s.instance(0), core.SolveOptions{})
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Scheme: scheme, Value: plan.Value, Time: plan.SolveTime}, nil
+	case SchemeOptimal:
+		if s.Opts.Objective == core.Throughput {
+			return Result{}, fmt.Errorf("eval: the paper does not compute the optimal for the throughput metric (combinatorial blow-up)")
+		}
+		z, _, err := mcf.OptimalUnderFailures(s.Graph, s.TM, s.Failures)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Scheme: scheme, Value: z, Time: time.Since(start)}, nil
+	}
+	return Result{}, fmt.Errorf("eval: unknown scheme %q", scheme)
+}
+
+// augmentUncondSegments gives the segments of unconditional LSs the
+// same resilient multi-tunnel treatment the PCF-LS configuration uses:
+// an always-active LS is only as strong as its weakest segment, so a
+// single direct-link tunnel there wastes the LS under that link's
+// failure. Conditional (bypass) LSs don't need this — their activation
+// already encodes the failure they protect against.
+func (s *Setup) augmentUncondSegments(in *core.Instance) error {
+	segSet := map[topology.Pair]bool{}
+	for _, q := range in.LSs {
+		if q.Cond != nil {
+			continue
+		}
+		for _, seg := range q.Segments() {
+			if len(in.Tunnels.ForPair(seg)) < s.Opts.TunnelsPerPair {
+				segSet[seg] = true
+			}
+		}
+	}
+	if len(segSet) == 0 {
+		return nil
+	}
+	var segPairs []topology.Pair
+	for p := range segSet {
+		segPairs = append(segPairs, p)
+	}
+	sort.Slice(segPairs, func(i, j int) bool {
+		if segPairs[i].Src != segPairs[j].Src {
+			return segPairs[i].Src < segPairs[j].Src
+		}
+		return segPairs[i].Dst < segPairs[j].Dst
+	})
+	segTs, err := tunnels.Select(in.Graph, segPairs, tunnels.SelectOptions{PerPair: s.Opts.TunnelsPerPair})
+	if err != nil {
+		return err
+	}
+	merged := tunnels.NewSet(in.Graph)
+	seen := map[string]bool{}
+	addAll := func(ts *tunnels.Set) {
+		for _, p := range ts.Pairs() {
+			for _, id := range ts.ForPair(p) {
+				path := ts.Tunnel(id).Path
+				k := fmt.Sprint(p, path.Arcs)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				merged.MustAdd(p, path)
+			}
+		}
+	}
+	addAll(in.Tunnels)
+	addAll(segTs)
+	in.Tunnels = merged
+	return nil
+}
+
+// lsInstance builds the PCF-LS configuration of §5: one unconditional
+// shortest-path LS per demand pair, with tunnels selected for every LS
+// segment pair as well.
+func (s *Setup) lsInstance() (*core.Instance, error) {
+	in := s.instance(0)
+	lss := core.ShortestPathLSs(s.Graph, s.Pairs)
+	// Segment pairs need resilient tunnel sets of their own (an
+	// unconditional LS is only as strong as its weakest segment).
+	segSet := map[topology.Pair]bool{}
+	for _, q := range lss {
+		for _, seg := range q.Segments() {
+			if len(in.Tunnels.ForPair(seg)) == 0 {
+				segSet[seg] = true
+			}
+		}
+	}
+	if len(segSet) > 0 {
+		var segPairs []topology.Pair
+		for p := range segSet {
+			segPairs = append(segPairs, p)
+		}
+		sort.Slice(segPairs, func(i, j int) bool {
+			if segPairs[i].Src != segPairs[j].Src {
+				return segPairs[i].Src < segPairs[j].Src
+			}
+			return segPairs[i].Dst < segPairs[j].Dst
+		})
+		segTs, err := tunnels.Select(s.Graph, segPairs, tunnels.SelectOptions{PerPair: s.Opts.TunnelsPerPair})
+		if err != nil {
+			return nil, err
+		}
+		merged := tunnels.NewSet(s.Graph)
+		for _, p := range in.Tunnels.Pairs() {
+			for _, id := range in.Tunnels.ForPair(p) {
+				merged.MustAdd(p, in.Tunnels.Tunnel(id).Path)
+			}
+		}
+		for _, p := range segTs.Pairs() {
+			for _, id := range segTs.ForPair(p) {
+				merged.MustAdd(p, segTs.Tunnel(id).Path)
+			}
+		}
+		in.Tunnels = merged
+	}
+	in.LSs = lss
+	return in, nil
+}
+
+// Ratio returns a/b guarding against tiny denominators.
+func Ratio(a, b float64) float64 {
+	if b <= 1e-12 {
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// CDF returns the sorted values and cumulative fractions for plotting.
+func CDF(values []float64) (sorted []float64, frac []float64) {
+	sorted = append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	frac = make([]float64, len(sorted))
+	for i := range sorted {
+		frac[i] = float64(i+1) / float64(len(sorted))
+	}
+	return sorted, frac
+}

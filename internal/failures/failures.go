@@ -1,0 +1,215 @@
+// Package failures models the failure scenarios a congestion-free plan
+// must survive. A failure Set is a collection of failure units (a
+// single link, a shared-risk link group, or a node — i.e., all links
+// incident to it) plus a budget f: any f or fewer units may fail
+// simultaneously (paper §3.2, §3.5).
+//
+// The Set has two consumers: the optimization models in internal/core
+// turn it into an adversary polytope (the LP relaxation of the scenario
+// set), and the validators/optimal-response code enumerate its integral
+// scenarios exhaustively.
+package failures
+
+import (
+	"fmt"
+	"sort"
+
+	"pcf/internal/topology"
+)
+
+// Unit is an atomic failure event: all of its links die together.
+type Unit struct {
+	Name  string
+	Links []topology.LinkID
+}
+
+// Set is a family of failure scenarios: any subset of at most Budget
+// units failing simultaneously.
+type Set struct {
+	Units  []Unit
+	Budget int
+}
+
+// SingleLinks returns the standard model where each link is its own
+// failure unit and at most f links fail (the paper's primary setting).
+func SingleLinks(g *topology.Graph, f int) *Set {
+	units := make([]Unit, g.NumLinks())
+	for i := 0; i < g.NumLinks(); i++ {
+		units[i] = Unit{
+			Name:  fmt.Sprintf("link%d", i),
+			Links: []topology.LinkID{topology.LinkID(i)},
+		}
+	}
+	return &Set{Units: units, Budget: f}
+}
+
+// SRLGs returns a model where each shared-risk link group is a unit
+// and at most f groups fail. Links not covered by any group are given
+// their own singleton unit so they can still fail individually.
+func SRLGs(g *topology.Graph, groups [][]topology.LinkID, f int) *Set {
+	covered := make(map[topology.LinkID]bool)
+	var units []Unit
+	for i, grp := range groups {
+		links := append([]topology.LinkID(nil), grp...)
+		sort.Slice(links, func(a, b int) bool { return links[a] < links[b] })
+		units = append(units, Unit{Name: fmt.Sprintf("srlg%d", i), Links: links})
+		for _, l := range links {
+			covered[l] = true
+		}
+	}
+	for i := 0; i < g.NumLinks(); i++ {
+		if !covered[topology.LinkID(i)] {
+			units = append(units, Unit{
+				Name:  fmt.Sprintf("link%d", i),
+				Links: []topology.LinkID{topology.LinkID(i)},
+			})
+		}
+	}
+	return &Set{Units: units, Budget: f}
+}
+
+// Nodes returns a model where each listed node is a failure unit (all
+// its incident links fail) and at most f nodes fail.
+func Nodes(g *topology.Graph, nodes []topology.NodeID, f int) *Set {
+	units := make([]Unit, 0, len(nodes))
+	for _, n := range nodes {
+		seen := make(map[topology.LinkID]bool)
+		var links []topology.LinkID
+		for _, a := range g.OutArcs(n) {
+			l := topology.LinkOf(a)
+			if !seen[l] {
+				seen[l] = true
+				links = append(links, l)
+			}
+		}
+		sort.Slice(links, func(a, b int) bool { return links[a] < links[b] })
+		units = append(units, Unit{Name: fmt.Sprintf("node%d", n), Links: links})
+	}
+	return &Set{Units: units, Budget: f}
+}
+
+// Scenario is one concrete failure state: a set of dead links.
+type Scenario struct {
+	// FailedUnits indexes into Set.Units.
+	FailedUnits []int
+	// Dead marks dead links.
+	Dead map[topology.LinkID]bool
+}
+
+// Alive reports whether a path survives the scenario.
+func (s Scenario) Alive(p topology.Path) bool {
+	for _, a := range p.Arcs {
+		if s.Dead[topology.LinkOf(a)] {
+			return false
+		}
+	}
+	return true
+}
+
+// LinkAlive reports whether a single link survives.
+func (s Scenario) LinkAlive(l topology.LinkID) bool { return !s.Dead[l] }
+
+// String renders the scenario compactly.
+func (s Scenario) String() string {
+	if len(s.FailedUnits) == 0 {
+		return "{no failure}"
+	}
+	return fmt.Sprintf("{units %v}", s.FailedUnits)
+}
+
+// scenario materializes the dead-link set for a unit combination.
+func (fs *Set) scenario(combo []int) Scenario {
+	sc := Scenario{
+		FailedUnits: append([]int(nil), combo...),
+		Dead:        make(map[topology.LinkID]bool),
+	}
+	for _, u := range combo {
+		for _, l := range fs.Units[u].Links {
+			sc.Dead[l] = true
+		}
+	}
+	return sc
+}
+
+// Enumerate calls fn for every scenario with at most Budget failed
+// units, including the no-failure scenario. If fn returns false the
+// enumeration stops early and Enumerate returns false.
+func (fs *Set) Enumerate(fn func(Scenario) bool) bool {
+	n := len(fs.Units)
+	combo := make([]int, 0, fs.Budget)
+	var rec func(start int) bool
+	rec = func(start int) bool {
+		if !fn(fs.scenario(combo)) {
+			return false
+		}
+		if len(combo) == fs.Budget {
+			return true
+		}
+		for i := start; i < n; i++ {
+			combo = append(combo, i)
+			if !rec(i + 1) {
+				return false
+			}
+			combo = combo[:len(combo)-1]
+		}
+		return true
+	}
+	return rec(0)
+}
+
+// Count returns the number of scenarios Enumerate visits.
+func (fs *Set) Count() int {
+	total := 0
+	fs.Enumerate(func(Scenario) bool { total++; return true })
+	return total
+}
+
+// NumScenariosExact returns C(n, k) summed for k = 0..Budget without
+// enumerating, for sizing reports.
+func (fs *Set) NumScenariosExact() int {
+	n := len(fs.Units)
+	total := 0
+	for k := 0; k <= fs.Budget && k <= n; k++ {
+		total += binomial(n, k)
+	}
+	return total
+}
+
+func binomial(n, k int) int {
+	if k > n-k {
+		k = n - k
+	}
+	c := 1
+	for i := 0; i < k; i++ {
+		c = c * (n - i) / (i + 1)
+	}
+	return c
+}
+
+// UnitsOf returns, for each link, the unit indices containing it.
+func (fs *Set) UnitsOf(numLinks int) [][]int {
+	out := make([][]int, numLinks)
+	for ui, u := range fs.Units {
+		for _, l := range u.Links {
+			out[l] = append(out[l], ui)
+		}
+	}
+	return out
+}
+
+// Disconnects reports whether some scenario in the set disconnects the
+// graph, along with a witness scenario. Plans cannot guarantee positive
+// throughput for pairs separated by a disconnection.
+func (fs *Set) Disconnects(g *topology.Graph) (Scenario, bool) {
+	var witness Scenario
+	found := false
+	fs.Enumerate(func(sc Scenario) bool {
+		if !g.IsConnected(sc.Dead) {
+			witness = sc
+			found = true
+			return false
+		}
+		return true
+	})
+	return witness, found
+}

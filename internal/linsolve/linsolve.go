@@ -1,0 +1,219 @@
+// Package linsolve solves the dense linear systems that arise when PCF
+// realizes logical-sequence reservations as a concrete routing (paper
+// §4.1): M·U = D where M is the reservation matrix, an invertible
+// M-matrix (Proposition 5). It provides a direct LU solver with partial
+// pivoting for exactness, and Jacobi / Gauss–Seidel iterations that
+// exploit the M-matrix structure — the "simple and memory-efficient
+// iterative algorithms" the paper points to for distributed
+// implementations.
+package linsolve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when the coefficient matrix is numerically
+// singular.
+var ErrSingular = errors.New("linsolve: singular matrix")
+
+// LU is an LU factorization with partial pivoting of an n x n matrix.
+type LU struct {
+	n    int
+	lu   []float64 // combined L (unit lower) and U factors, row-major
+	perm []int     // row permutation
+}
+
+// Factor computes the LU factorization of the row-major n x n matrix a.
+// The input is not modified.
+func Factor(a []float64, n int) (*LU, error) {
+	if len(a) != n*n {
+		return nil, fmt.Errorf("linsolve: matrix length %d != %d", len(a), n*n)
+	}
+	f := &LU{n: n, lu: make([]float64, n*n), perm: make([]int, n)}
+	copy(f.lu, a)
+	for i := range f.perm {
+		f.perm[i] = i
+	}
+	for c := 0; c < n; c++ {
+		// Partial pivot.
+		p, best := -1, 0.0
+		for r := c; r < n; r++ {
+			if v := math.Abs(f.lu[r*n+c]); v > best {
+				best, p = v, r
+			}
+		}
+		if p < 0 || best < 1e-13 {
+			return nil, ErrSingular
+		}
+		if p != c {
+			for j := 0; j < n; j++ {
+				f.lu[p*n+j], f.lu[c*n+j] = f.lu[c*n+j], f.lu[p*n+j]
+			}
+			f.perm[p], f.perm[c] = f.perm[c], f.perm[p]
+		}
+		pv := f.lu[c*n+c]
+		for r := c + 1; r < n; r++ {
+			m := f.lu[r*n+c] / pv
+			f.lu[r*n+c] = m
+			if m == 0 {
+				continue
+			}
+			for j := c + 1; j < n; j++ {
+				f.lu[r*n+j] -= m * f.lu[c*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A x = b using the factorization.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.n
+	if len(b) != n {
+		return nil, fmt.Errorf("linsolve: rhs length %d != %d", len(b), n)
+	}
+	x := make([]float64, n)
+	// Apply permutation.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.perm[i]]
+	}
+	// Forward substitution (unit lower).
+	for i := 1; i < n; i++ {
+		s := x[i]
+		row := f.lu[i*n : i*n+i]
+		for j, v := range row {
+			s -= v * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu[i*n+j] * x[j]
+		}
+		x[i] = s / f.lu[i*n+i]
+	}
+	return x, nil
+}
+
+// SolveMany solves A X = B column by column, reusing the factorization.
+// rhs holds the columns; the result holds the solution columns in the
+// same order.
+func (f *LU) SolveMany(rhs [][]float64) ([][]float64, error) {
+	out := make([][]float64, len(rhs))
+	for i, b := range rhs {
+		x, err := f.Solve(b)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = x
+	}
+	return out, nil
+}
+
+// Solve is a convenience that factors and solves in one call.
+func Solve(a []float64, b []float64, n int) ([]float64, error) {
+	f, err := Factor(a, n)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// IterResult reports the outcome of an iterative solve.
+type IterResult struct {
+	X          []float64
+	Iterations int
+	Residual   float64
+}
+
+// GaussSeidel solves A x = b by Gauss–Seidel iteration. It converges
+// for the weakly chained diagonally dominant M-matrices produced by
+// PCF's reservation construction. maxIter bounds sweeps; tol is the
+// max-norm residual target.
+func GaussSeidel(a, b []float64, n, maxIter int, tol float64) (*IterResult, error) {
+	return iterate(a, b, n, maxIter, tol, true)
+}
+
+// Jacobi solves A x = b by Jacobi iteration (the fully parallel /
+// distributed variant of GaussSeidel).
+func Jacobi(a, b []float64, n, maxIter int, tol float64) (*IterResult, error) {
+	return iterate(a, b, n, maxIter, tol, false)
+}
+
+func iterate(a, b []float64, n, maxIter int, tol float64, inPlace bool) (*IterResult, error) {
+	if len(a) != n*n || len(b) != n {
+		return nil, fmt.Errorf("linsolve: dimension mismatch")
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(a[i*n+i]) < 1e-13 {
+			return nil, ErrSingular
+		}
+	}
+	x := make([]float64, n)
+	next := x
+	if !inPlace {
+		next = make([]float64, n)
+	}
+	res := math.Inf(1)
+	it := 0
+	for ; it < maxIter && res > tol; it++ {
+		for i := 0; i < n; i++ {
+			s := b[i]
+			row := a[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				if j != i {
+					s -= row[j] * x[j]
+				}
+			}
+			next[i] = s / row[i]
+		}
+		if !inPlace {
+			x, next = next, x
+		}
+		res = Residual(a, x, b, n)
+	}
+	if res > tol {
+		return &IterResult{X: x, Iterations: it, Residual: res},
+			fmt.Errorf("linsolve: did not converge in %d iterations (residual %g)", maxIter, res)
+	}
+	return &IterResult{X: x, Iterations: it, Residual: res}, nil
+}
+
+// Residual returns the max-norm of A x - b.
+func Residual(a, x, b []float64, n int) float64 {
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		s := -b[i]
+		row := a[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			s += row[j] * x[j]
+		}
+		if v := math.Abs(s); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// IsMMatrix reports whether the matrix has the M-matrix sign pattern:
+// nonpositive off-diagonals and positive diagonals. It is a necessary
+// condition used by the property tests for Proposition 5.
+func IsMMatrix(a []float64, n int, tolerance float64) bool {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := a[i*n+j]
+			if i == j {
+				if v <= tolerance {
+					return false
+				}
+			} else if v > tolerance {
+				return false
+			}
+		}
+	}
+	return true
+}

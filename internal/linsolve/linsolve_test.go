@@ -1,0 +1,212 @@
+package linsolve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveIdentity(t *testing.T) {
+	a := []float64{1, 0, 0, 1}
+	x, err := Solve(a, []float64{3, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != 4 {
+		t.Fatalf("got %v", x)
+	}
+}
+
+func TestSolveKnown3x3(t *testing.T) {
+	// 2x + y - z = 8; -3x - y + 2z = -11; -2x + y + 2z = -3
+	// Solution: x=2, y=3, z=-1.
+	a := []float64{2, 1, -1, -3, -1, 2, -2, 1, 2}
+	x, err := Solve(a, []float64{8, -11, -3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSingularDetected(t *testing.T) {
+	a := []float64{1, 2, 2, 4}
+	if _, err := Solve(a, []float64{1, 2}, 2); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestPivotingNeeded(t *testing.T) {
+	// Zero on the first diagonal entry forces a row swap.
+	a := []float64{0, 1, 1, 0}
+	x, err := Solve(a, []float64{5, 7}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-7) > 1e-12 || math.Abs(x[1]-5) > 1e-12 {
+		t.Fatalf("got %v", x)
+	}
+}
+
+func TestSolveManySharesFactorization(t *testing.T) {
+	a := []float64{4, 1, 1, 3}
+	f, err := Factor(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := f.SolveMany([][]float64{{1, 0}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns of the inverse: det = 11.
+	if math.Abs(xs[0][0]-3.0/11) > 1e-12 || math.Abs(xs[1][1]-4.0/11) > 1e-12 {
+		t.Fatalf("inverse columns wrong: %v", xs)
+	}
+}
+
+func randDiagDominant(rng *rand.Rand, n int) ([]float64, []float64) {
+	a := make([]float64, n*n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rowSum := 0.0
+		for j := 0; j < n; j++ {
+			if i != j {
+				v := -rng.Float64() // M-matrix: nonpositive off-diagonal
+				a[i*n+j] = v
+				rowSum += math.Abs(v)
+			}
+		}
+		a[i*n+i] = rowSum + 0.5 + rng.Float64() // strictly dominant
+		b[i] = rng.Float64() * 10
+	}
+	return a, b
+}
+
+func TestGaussSeidelMatchesLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(12)
+		a, b := randDiagDominant(rng, n)
+		direct, err := Solve(a, b, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs, err := GaussSeidel(a, b, n, 10000, 1e-10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(direct[i]-gs.X[i]) > 1e-7 {
+				t.Fatalf("trial %d: GS[%d]=%g direct=%g", trial, i, gs.X[i], direct[i])
+			}
+		}
+	}
+}
+
+func TestJacobiMatchesLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(8)
+		a, b := randDiagDominant(rng, n)
+		direct, err := Solve(a, b, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jc, err := Jacobi(a, b, n, 20000, 1e-10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(direct[i]-jc.X[i]) > 1e-7 {
+				t.Fatalf("trial %d: Jacobi[%d]=%g direct=%g", trial, i, jc.X[i], direct[i])
+			}
+		}
+	}
+}
+
+func TestGaussSeidelFasterThanJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a, b := randDiagDominant(rng, 10)
+	gs, err := GaussSeidel(a, b, 10, 10000, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, err := Jacobi(a, b, 10, 20000, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.Iterations > jc.Iterations {
+		t.Fatalf("Gauss–Seidel took %d iterations, Jacobi %d", gs.Iterations, jc.Iterations)
+	}
+}
+
+func TestIterativeDivergenceReported(t *testing.T) {
+	// Not diagonally dominant: iteration diverges or stalls; we must
+	// get an error rather than silent garbage.
+	a := []float64{1, 3, 3, 1}
+	b := []float64{1, 1}
+	if _, err := GaussSeidel(a, b, 2, 50, 1e-12); err == nil {
+		t.Fatal("expected non-convergence error")
+	}
+}
+
+func TestResidual(t *testing.T) {
+	a := []float64{2, 0, 0, 2}
+	x := []float64{1, 1}
+	b := []float64{2, 3}
+	if r := Residual(a, x, b, 2); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("residual = %g, want 1", r)
+	}
+}
+
+func TestIsMMatrix(t *testing.T) {
+	good := []float64{2, -1, -0.5, 3}
+	if !IsMMatrix(good, 2, 1e-9) {
+		t.Fatal("should be an M-matrix sign pattern")
+	}
+	badOff := []float64{2, 1, -0.5, 3}
+	if IsMMatrix(badOff, 2, 1e-9) {
+		t.Fatal("positive off-diagonal should fail")
+	}
+	badDiag := []float64{0, -1, -0.5, 3}
+	if IsMMatrix(badDiag, 2, 1e-9) {
+		t.Fatal("zero diagonal should fail")
+	}
+}
+
+// Property: LU solve of a random well-conditioned diagonally dominant
+// system always reproduces b within tight tolerance.
+func TestPropertyLURoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(21))}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		a, b := randDiagDominant(rng, n)
+		x, err := Solve(a, b, n)
+		if err != nil {
+			return false
+		}
+		return Residual(a, x, b, n) < 1e-8
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDimensionMismatch(t *testing.T) {
+	if _, err := Factor([]float64{1, 2, 3}, 2); err == nil {
+		t.Fatal("expected length error")
+	}
+	f, _ := Factor([]float64{1, 0, 0, 1}, 2)
+	if _, err := f.Solve([]float64{1}); err == nil {
+		t.Fatal("expected rhs length error")
+	}
+	if _, err := GaussSeidel([]float64{1}, []float64{1, 2}, 2, 10, 1e-9); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}

@@ -1,0 +1,724 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Options tune the simplex solver. The zero value selects defaults.
+type Options struct {
+	// MaxIter bounds total simplex iterations across both phases.
+	// Zero selects a default proportional to problem size.
+	MaxIter int
+	// FeasTol is the feasibility/zero tolerance.
+	FeasTol float64
+	// OptTol is the reduced-cost optimality tolerance.
+	OptTol float64
+	// BlandTrigger is the number of non-improving iterations after
+	// which the solver switches to Bland's rule to escape cycling.
+	BlandTrigger int
+	// RefactorEvery forces a basis-inverse refactorization at this
+	// iteration period. Zero selects a default.
+	RefactorEvery int
+}
+
+func (o Options) withDefaults(m, n int) Options {
+	if o.MaxIter == 0 {
+		o.MaxIter = 200*(m+n) + 20000
+	}
+	if o.FeasTol == 0 {
+		o.FeasTol = 1e-9
+	}
+	if o.OptTol == 0 {
+		o.OptTol = 1e-9
+	}
+	if o.BlandTrigger == 0 {
+		o.BlandTrigger = 300
+	}
+	if o.RefactorEvery == 0 {
+		// The eager product-form update with the Harris-style ratio
+		// test drifts slowly; refactorization is O(m^3), so a long
+		// period wins on large bases.
+		o.RefactorEvery = 1500
+	}
+	return o
+}
+
+// Solve optimizes the model with default options.
+func Solve(m *Model) (*Solution, error) { return SolveWithOptions(m, Options{}) }
+
+type entry struct {
+	row int
+	val float64
+}
+
+// varMap records how a standard-form column maps back to a model var.
+type varMap struct {
+	v     Var     // model variable, or -1 for slack/surplus/artificial
+	scale float64 // +1 or -1 (negative part of a free variable)
+	shift float64 // added to recover the model value
+}
+
+type standardForm struct {
+	nRows    int
+	nCols    int
+	cols     [][]entry
+	b        []float64
+	c        []float64
+	maps     []varMap
+	rowOf    []int     // model row index for each std row, or -1 for bound rows
+	rowNeg   []bool    // whether the model row was negated to make b >= 0
+	rowSign  []float64 // dual sign conversion factor per std row
+	negObj   bool      // objective was negated (Maximize)
+	nModel   int       // number of model variables
+	objConst float64   // constant objective offset in standard form
+}
+
+var errNumerical = errors.New("lp: numerical failure, basis refactorization did not recover")
+
+// toStandard converts the model to min c'x, Ax=b, x>=0, b>=0.
+func toStandard(mod *Model) *standardForm {
+	sf := &standardForm{nModel: mod.NumVars()}
+
+	type colRef struct {
+		pos    int // column index of positive part
+		neg    int // column of negative part for free vars, else -1
+		shift  float64
+		hasUB  bool
+		ubRHS  float64 // upper bound row RHS (hi - lo)
+		ubRowI int
+	}
+	refs := make([]colRef, mod.NumVars())
+
+	addCol := func(v Var, scale, shift float64) int {
+		sf.cols = append(sf.cols, nil)
+		sf.maps = append(sf.maps, varMap{v: v, scale: scale, shift: shift})
+		return len(sf.cols) - 1
+	}
+
+	for i := 0; i < mod.NumVars(); i++ {
+		lo, hi := mod.lower[i], mod.upper[i]
+		r := colRef{neg: -1}
+		switch {
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+			r.pos = addCol(Var(i), 1, 0)
+			r.neg = addCol(Var(i), -1, 0)
+		case math.IsInf(lo, -1):
+			// x <= hi: substitute x = hi - x', x' >= 0.
+			r.pos = addCol(Var(i), -1, hi)
+			r.shift = hi
+		default:
+			// x >= lo: substitute x = lo + x'.
+			r.pos = addCol(Var(i), 1, lo)
+			r.shift = lo
+			if !math.IsInf(hi, 1) {
+				r.hasUB = true
+				r.ubRHS = hi - lo
+			}
+		}
+		refs[i] = r
+	}
+
+	// Rows: model constraints then upper-bound rows.
+	nModelRows := mod.NumConstraints()
+	addRow := func(modelRow int) int {
+		sf.b = append(sf.b, 0)
+		sf.rowOf = append(sf.rowOf, modelRow)
+		sf.rowNeg = append(sf.rowNeg, false)
+		return len(sf.b) - 1
+	}
+
+	type rowTerm struct {
+		col int
+		v   float64
+	}
+	rows := make([][]rowTerm, 0, nModelRows)
+	senses := make([]Sense, 0, nModelRows)
+
+	for ri, con := range mod.cons {
+		row := addRow(ri)
+		rhs := con.RHS
+		var terms []rowTerm
+		for _, t := range con.Expr.Terms {
+			r := refs[t.Var]
+			mv := sf.maps[r.pos]
+			if mv.scale < 0 { // substituted x = hi - x'
+				rhs -= t.Coeff * mv.shift
+				terms = append(terms, rowTerm{r.pos, -t.Coeff})
+			} else {
+				rhs -= t.Coeff * r.shift
+				terms = append(terms, rowTerm{r.pos, t.Coeff})
+			}
+			if r.neg >= 0 {
+				terms = append(terms, rowTerm{r.neg, -t.Coeff})
+			}
+		}
+		sf.b[row] = rhs
+		rows = append(rows, terms)
+		senses = append(senses, con.Sense)
+	}
+	// Upper-bound rows x' <= ub.
+	for i := range refs {
+		if refs[i].hasUB {
+			row := addRow(-1)
+			sf.b[row] = refs[i].ubRHS
+			rows = append(rows, []rowTerm{{refs[i].pos, 1}})
+			senses = append(senses, LE)
+		}
+	}
+
+	// Slack / surplus columns; then normalize b >= 0.
+	for ri := range rows {
+		switch senses[ri] {
+		case LE:
+			c := addCol(-1, 0, 0)
+			rows[ri] = append(rows[ri], rowTerm{c, 1})
+		case GE:
+			c := addCol(-1, 0, 0)
+			rows[ri] = append(rows[ri], rowTerm{c, -1})
+		}
+	}
+	sf.nRows = len(rows)
+	sf.nCols = len(sf.cols)
+	sf.rowSign = make([]float64, sf.nRows)
+	for ri := range rows {
+		sign := 1.0
+		if sf.b[ri] < 0 {
+			sf.b[ri] = -sf.b[ri]
+			sf.rowNeg[ri] = true
+			sign = -1.0
+			for k := range rows[ri] {
+				rows[ri][k].v = -rows[ri][k].v
+			}
+		}
+		sf.rowSign[ri] = sign
+		for _, t := range rows[ri] {
+			if t.v != 0 {
+				sf.cols[t.col] = append(sf.cols[t.col], entry{row: ri, val: t.v})
+			}
+		}
+	}
+
+	// Objective.
+	sf.c = make([]float64, sf.nCols)
+	objConst := mod.obj.Offset
+	neg := mod.dir == Maximize
+	sf.negObj = neg
+	for _, t := range mod.obj.Terms {
+		coeff := t.Coeff
+		if neg {
+			coeff = -coeff
+		}
+		r := refs[t.Var]
+		mv := sf.maps[r.pos]
+		if mv.scale < 0 {
+			objConst += sign(neg) * t.Coeff * mv.shift
+			sf.c[r.pos] += -coeff
+		} else {
+			objConst += sign(neg) * t.Coeff * r.shift
+			sf.c[r.pos] += coeff
+		}
+		if r.neg >= 0 {
+			sf.c[r.neg] += -coeff
+		}
+	}
+	sf.objConst = objConst
+	return sf
+}
+
+func sign(neg bool) float64 {
+	if neg {
+		return -1
+	}
+	return 1
+}
+
+// simplexState holds the working data of the revised simplex method.
+type simplexState struct {
+	sf    *standardForm
+	opts  Options
+	m     int
+	basis []int     // basic column per row (std columns; artificials are >= nCols)
+	binv  []float64 // m x m row-major dense basis inverse
+	xB    []float64 // basic variable values
+	nArt  int
+	inB   []bool // whether std column j is basic
+	iter  int
+}
+
+func newSimplexState(sf *standardForm, opts Options) *simplexState {
+	m := sf.nRows
+	st := &simplexState{sf: sf, opts: opts, m: m}
+	st.basis = make([]int, m)
+	st.binv = make([]float64, m*m)
+	st.xB = make([]float64, m)
+	st.inB = make([]bool, sf.nCols+m)
+	for i := 0; i < m; i++ {
+		st.basis[i] = sf.nCols + i // artificial i
+		st.binv[i*m+i] = 1
+		st.xB[i] = sf.b[i]
+		st.inB[sf.nCols+i] = true
+	}
+	st.nArt = m
+	return st
+}
+
+// colVec materializes std column j (including artificials) densely into dst.
+func (st *simplexState) colVec(j int, dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	if j >= st.sf.nCols {
+		dst[j-st.sf.nCols] = 1
+		return
+	}
+	for _, e := range st.sf.cols[j] {
+		dst[e.row] = e.val
+	}
+}
+
+// ftran computes d = binv * col(j).
+func (st *simplexState) ftran(j int, d []float64) {
+	m := st.m
+	for i := range d {
+		d[i] = 0
+	}
+	if j >= st.sf.nCols {
+		r := j - st.sf.nCols
+		for i := 0; i < m; i++ {
+			d[i] = st.binv[i*m+r]
+		}
+		return
+	}
+	for _, e := range st.sf.cols[j] {
+		if e.val == 0 {
+			continue
+		}
+		col := e.row
+		v := e.val
+		for i := 0; i < m; i++ {
+			d[i] += st.binv[i*m+col] * v
+		}
+	}
+}
+
+// btran computes y = costB' * binv for the supplied basic costs.
+func (st *simplexState) btran(costB, y []float64) {
+	m := st.m
+	for j := 0; j < m; j++ {
+		y[j] = 0
+	}
+	for i := 0; i < m; i++ {
+		cb := costB[i]
+		if cb == 0 {
+			continue
+		}
+		row := st.binv[i*m : i*m+m]
+		for j := 0; j < m; j++ {
+			y[j] += cb * row[j]
+		}
+	}
+}
+
+// refactor recomputes binv from the current basis by Gauss-Jordan with
+// partial pivoting, and recomputes xB. Returns false if the basis
+// matrix is singular.
+func (st *simplexState) refactor() bool {
+	m := st.m
+	// Build dense basis matrix a (m x m) augmented with identity.
+	a := make([]float64, m*m)
+	col := make([]float64, m)
+	for k, j := range st.basis {
+		st.colVec(j, col)
+		for i := 0; i < m; i++ {
+			a[i*m+k] = col[i]
+		}
+	}
+	inv := make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		inv[i*m+i] = 1
+	}
+	for c := 0; c < m; c++ {
+		// Partial pivot.
+		p, best := -1, 0.0
+		for r := c; r < m; r++ {
+			if v := math.Abs(a[r*m+c]); v > best {
+				best, p = v, r
+			}
+		}
+		if p < 0 || best < 1e-12 {
+			return false
+		}
+		if p != c {
+			for j := 0; j < m; j++ {
+				a[p*m+j], a[c*m+j] = a[c*m+j], a[p*m+j]
+				inv[p*m+j], inv[c*m+j] = inv[c*m+j], inv[p*m+j]
+			}
+		}
+		pv := a[c*m+c]
+		ipv := 1 / pv
+		for j := 0; j < m; j++ {
+			a[c*m+j] *= ipv
+			inv[c*m+j] *= ipv
+		}
+		for r := 0; r < m; r++ {
+			if r == c {
+				continue
+			}
+			f := a[r*m+c]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				a[r*m+j] -= f * a[c*m+j]
+				inv[r*m+j] -= f * inv[c*m+j]
+			}
+		}
+	}
+	copy(st.binv, inv)
+	// xB = binv * b.
+	for i := 0; i < m; i++ {
+		s := 0.0
+		row := st.binv[i*m : i*m+m]
+		for j := 0; j < m; j++ {
+			s += row[j] * st.sf.b[j]
+		}
+		st.xB[i] = s
+	}
+	return true
+}
+
+// pivot performs the basis change: column enter replaces the basic
+// column in row leaveRow, with direction vector d = binv*A_enter.
+func (st *simplexState) pivot(enter, leaveRow int, d []float64) {
+	m := st.m
+	pd := d[leaveRow]
+	theta := st.xB[leaveRow] / pd
+	for i := 0; i < m; i++ {
+		if i == leaveRow {
+			continue
+		}
+		st.xB[i] -= theta * d[i]
+		if st.xB[i] < 0 && st.xB[i] > -st.opts.FeasTol {
+			st.xB[i] = 0
+		}
+	}
+	st.xB[leaveRow] = theta
+	// Update binv: row ops making column d into e_leaveRow.
+	ip := 1 / pd
+	lrow := st.binv[leaveRow*m : leaveRow*m+m]
+	for j := 0; j < m; j++ {
+		lrow[j] *= ip
+	}
+	for i := 0; i < m; i++ {
+		if i == leaveRow {
+			continue
+		}
+		f := d[i]
+		if f == 0 {
+			continue
+		}
+		row := st.binv[i*m : i*m+m]
+		for j := 0; j < m; j++ {
+			row[j] -= f * lrow[j]
+		}
+	}
+	st.inB[st.basis[leaveRow]] = false
+	st.inB[enter] = true
+	st.basis[leaveRow] = enter
+}
+
+// runPhase runs simplex iterations with the given cost vector (length
+// nCols + m where the artificial block carries artCost). It returns the
+// terminal status for this phase.
+func (st *simplexState) runPhase(cost []float64, phase1 bool) (Status, error) {
+	m := st.m
+	sf := st.sf
+	costB := make([]float64, m)
+	y := make([]float64, m)
+	d := make([]float64, m)
+	noImprove := 0
+	lastObj := math.Inf(1)
+	sinceRefactor := 0
+
+	for ; st.iter < st.opts.MaxIter; st.iter++ {
+		if sinceRefactor >= st.opts.RefactorEvery {
+			if !st.refactor() {
+				return StatusIterLimit, errNumerical
+			}
+			sinceRefactor = 0
+		}
+		sinceRefactor++
+
+		for i := 0; i < m; i++ {
+			costB[i] = cost[st.basis[i]]
+		}
+		st.btran(costB, y)
+
+		useBland := noImprove >= st.opts.BlandTrigger
+		enter := -1
+		bestRC := -st.opts.OptTol
+		// Price structural + slack columns.
+		for j := 0; j < sf.nCols; j++ {
+			if st.inB[j] {
+				continue
+			}
+			rc := cost[j]
+			for _, e := range sf.cols[j] {
+				rc -= y[e.row] * e.val
+			}
+			if rc < -st.opts.OptTol {
+				if useBland {
+					enter = j
+					break
+				}
+				if rc < bestRC {
+					bestRC = rc
+					enter = j
+				}
+			}
+		}
+		// In phase 1, artificials never re-enter. In phase 2 they are
+		// excluded entirely (cost 0 and would be degenerate).
+		if enter < 0 {
+			// Optimal for this phase.
+			return StatusOptimal, nil
+		}
+
+		st.ftran(enter, d)
+		// Two-pass ratio test (Harris style): find the minimal ratio,
+		// then among near-ties pick the row with the largest pivot
+		// magnitude for numerical stability. Under Bland's rule the
+		// smallest basis index wins instead to guarantee termination.
+		pivTol := 1e-8
+		minTheta := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if d[i] > pivTol {
+				if theta := st.xB[i] / d[i]; theta < minTheta {
+					minTheta = theta
+				}
+			}
+		}
+		if math.IsInf(minTheta, 1) {
+			// Distinguish true unboundedness from a degenerate state
+			// where only sub-threshold pivots remain: accept tiny
+			// pivots before declaring an unbounded ray.
+			pivTol = st.opts.FeasTol
+			for i := 0; i < m; i++ {
+				if d[i] > pivTol {
+					if theta := st.xB[i] / d[i]; theta < minTheta {
+						minTheta = theta
+					}
+				}
+			}
+		}
+		if math.IsInf(minTheta, 1) {
+			// An apparent unbounded ray can be an artifact of a drifted
+			// basis inverse; refactorize once and re-derive before
+			// trusting it.
+			if sinceRefactor > 1 {
+				if !st.refactor() {
+					return StatusIterLimit, errNumerical
+				}
+				sinceRefactor = 1
+				continue
+			}
+			if phase1 {
+				// Should not happen: phase-1 objective bounded below by 0.
+				return StatusIterLimit, errNumerical
+			}
+			return StatusUnbounded, nil
+		}
+		leave := -1
+		thetaCap := minTheta + 1e-9*(1+math.Abs(minTheta))
+		bestPiv := 0.0
+		for i := 0; i < m; i++ {
+			if d[i] <= pivTol {
+				continue
+			}
+			theta := st.xB[i] / d[i]
+			if theta > thetaCap {
+				continue
+			}
+			switch {
+			case useBland:
+				if leave < 0 || st.basis[i] < st.basis[leave] {
+					leave = i
+				}
+			case phase1 && st.basis[i] >= sf.nCols:
+				// Prefer driving artificials out on ties.
+				if leave < 0 || st.basis[leave] < sf.nCols || d[i] > bestPiv {
+					leave = i
+					bestPiv = d[i]
+				}
+			default:
+				if leave >= 0 && phase1 && st.basis[leave] >= sf.nCols {
+					continue // keep the artificial-leaving row
+				}
+				if d[i] > bestPiv {
+					leave = i
+					bestPiv = d[i]
+				}
+			}
+		}
+		if leave < 0 {
+			return StatusIterLimit, errNumerical
+		}
+		st.pivot(enter, leave, d)
+
+		obj := 0.0
+		for i := 0; i < m; i++ {
+			obj += cost[st.basis[i]] * st.xB[i]
+		}
+		if obj < lastObj-1e-12 {
+			lastObj = obj
+			noImprove = 0
+		} else {
+			noImprove++
+		}
+	}
+	return StatusIterLimit, nil
+}
+
+// driveOutArtificials pivots remaining zero-level artificials out of
+// the basis where possible. Rows where no structural pivot exists are
+// redundant; their artificial stays basic at zero.
+func (st *simplexState) driveOutArtificials() {
+	m := st.m
+	d := make([]float64, m)
+	for i := 0; i < m; i++ {
+		if st.basis[i] < st.sf.nCols {
+			continue
+		}
+		// Find a nonbasic structural column with nonzero entry in row i
+		// of binv*A.
+		found := -1
+		for j := 0; j < st.sf.nCols && found < 0; j++ {
+			if st.inB[j] {
+				continue
+			}
+			v := 0.0
+			for _, e := range st.sf.cols[j] {
+				v += st.binv[i*m+e.row] * e.val
+			}
+			if math.Abs(v) > 1e-7 {
+				found = j
+			}
+		}
+		if found < 0 {
+			continue // redundant row
+		}
+		st.ftran(found, d)
+		st.pivot(found, i, d)
+	}
+}
+
+// SolveWithOptions optimizes the model.
+func SolveWithOptions(mod *Model, opts Options) (*Solution, error) {
+	sf := toStandard(mod)
+	opts = opts.withDefaults(sf.nRows, sf.nCols)
+	st := newSimplexState(sf, opts)
+
+	solveOnce := func() (*Solution, error) {
+		// Phase 1.
+		cost1 := make([]float64, sf.nCols+st.m)
+		for i := 0; i < st.m; i++ {
+			cost1[sf.nCols+i] = 1
+		}
+		status, err := st.runPhase(cost1, true)
+		if err != nil {
+			return nil, err
+		}
+		if status != StatusOptimal {
+			return &Solution{Status: status, model: mod}, nil
+		}
+		infeas := 0.0
+		for i := 0; i < st.m; i++ {
+			if st.basis[i] >= sf.nCols {
+				infeas += st.xB[i]
+			}
+		}
+		if infeas > 1e-6 {
+			return &Solution{Status: StatusInfeasible, model: mod}, nil
+		}
+		st.driveOutArtificials()
+
+		// Phase 2.
+		cost2 := make([]float64, sf.nCols+st.m)
+		copy(cost2, sf.c)
+		status, err = st.runPhase(cost2, false)
+		if err != nil {
+			return nil, err
+		}
+		return st.extract(mod, status, cost2), nil
+	}
+
+	sol, err := solveOnce()
+	if errors.Is(err, errNumerical) {
+		// One full retry with tighter refactorization.
+		opts.RefactorEvery = 50
+		st = newSimplexState(sf, opts)
+		sol, err = solveOnce()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lp: solve failed: %w", err)
+	}
+	return sol, nil
+}
+
+func (st *simplexState) extract(mod *Model, status Status, cost []float64) *Solution {
+	sf := st.sf
+	sol := &Solution{Status: status, model: mod}
+	if status != StatusOptimal && status != StatusIterLimit {
+		return sol
+	}
+	xStd := make([]float64, sf.nCols)
+	for i, j := range st.basis {
+		if j < sf.nCols {
+			xStd[j] = st.xB[i]
+		}
+	}
+	vals := make([]float64, mod.NumVars())
+	seen := make([]bool, mod.NumVars())
+	for j := 0; j < sf.nCols; j++ {
+		mp := sf.maps[j]
+		if mp.v < 0 {
+			continue
+		}
+		if !seen[mp.v] {
+			vals[mp.v] = mp.shift
+			seen[mp.v] = true
+		}
+		vals[mp.v] += mp.scale * xStd[j]
+	}
+	sol.values = vals
+	obj := mod.obj.Offset
+	for _, t := range mod.obj.Terms {
+		obj += t.Coeff * vals[t.Var]
+	}
+	sol.Objective = obj
+
+	// Duals: y = costB' * binv, mapped back to model rows.
+	m := st.m
+	costB := make([]float64, m)
+	for i := 0; i < m; i++ {
+		costB[i] = cost[st.basis[i]]
+	}
+	y := make([]float64, m)
+	st.btran(costB, y)
+	duals := make([]float64, mod.NumConstraints())
+	for r := 0; r < m; r++ {
+		mr := sf.rowOf[r]
+		if mr < 0 {
+			continue
+		}
+		v := y[r] * sf.rowSign[r]
+		if sf.negObj {
+			v = -v
+		}
+		duals[mr] = v
+	}
+	sol.duals = duals
+	return sol
+}

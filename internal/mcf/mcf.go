@@ -1,0 +1,253 @@
+// Package mcf solves multi-commodity flow problems: the maximum
+// concurrent flow (demand scale / inverse MLU) and maximum throughput
+// objectives, optionally under a set of dead links. It implements the
+// paper's "intrinsic network capability" baseline — the performance of
+// a network that responds to each failure with an optimal
+// multi-commodity flow — by exhaustive scenario enumeration (§5), and
+// the MLU-targeted traffic-matrix scaling used to generate evaluation
+// demands.
+//
+// Flows are aggregated per destination, so the LP has O(V·E) variables
+// rather than O(V^2·E).
+package mcf
+
+import (
+	"fmt"
+	"math"
+
+	"pcf/internal/failures"
+	"pcf/internal/lp"
+	"pcf/internal/topology"
+	"pcf/internal/traffic"
+)
+
+// Result reports an optimal flow.
+type Result struct {
+	// Objective is the optimal value (demand scale z, or throughput).
+	Objective float64
+	// FlowTo[t][a] is the flow toward destination t on arc a.
+	FlowTo map[topology.NodeID][]float64
+}
+
+// MaxConcurrentFlow computes the largest z such that z times every
+// demand can be routed simultaneously within arc capacities, with the
+// links in dead removed. Pairs whose demand is zero are ignored.
+func MaxConcurrentFlow(g *topology.Graph, tm *traffic.Matrix, dead map[topology.LinkID]bool) (*Result, error) {
+	return solveFlow(g, tm, dead, true)
+}
+
+// MaxThroughput computes the maximum total bandwidth Σ bw_st with
+// bw_st <= d_st that can be routed within capacities.
+func MaxThroughput(g *topology.Graph, tm *traffic.Matrix, dead map[topology.LinkID]bool) (*Result, error) {
+	return solveFlow(g, tm, dead, false)
+}
+
+func solveFlow(g *topology.Graph, tm *traffic.Matrix, dead map[topology.LinkID]bool, concurrent bool) (*Result, error) {
+	if tm.N() != g.NumNodes() {
+		return nil, fmt.Errorf("mcf: matrix is %dx%d but graph has %d nodes", tm.N(), tm.N(), g.NumNodes())
+	}
+	n := g.NumNodes()
+	// Destinations with any inbound demand.
+	dsts := make([]topology.NodeID, 0, n)
+	inDemand := make([]float64, n)
+	for t := 0; t < n; t++ {
+		for s := 0; s < n; s++ {
+			inDemand[t] += tm.Demand[s][t]
+		}
+		if inDemand[t] > 0 {
+			dsts = append(dsts, topology.NodeID(t))
+		}
+	}
+	if len(dsts) == 0 {
+		return &Result{Objective: math.Inf(1), FlowTo: map[topology.NodeID][]float64{}}, nil
+	}
+
+	m := lp.NewModel()
+	// Arc flow variables per destination. Dead arcs are omitted.
+	numArcs := g.NumArcs()
+	flow := make(map[topology.NodeID][]lp.Var, len(dsts))
+	liveArc := make([]bool, numArcs)
+	for a := 0; a < numArcs; a++ {
+		liveArc[a] = dead == nil || !dead[topology.LinkOf(topology.ArcID(a))]
+	}
+	for _, t := range dsts {
+		vars := make([]lp.Var, numArcs)
+		for a := 0; a < numArcs; a++ {
+			if liveArc[a] {
+				vars[a] = m.AddNonNeg(fmt.Sprintf("f[t%d,a%d]", t, a))
+			} else {
+				vars[a] = -1
+			}
+		}
+		flow[t] = vars
+	}
+
+	var z lp.Var
+	bw := make(map[topology.Pair]lp.Var)
+	if concurrent {
+		z = m.AddNonNeg("z")
+	} else {
+		for s := 0; s < n; s++ {
+			for t := 0; t < n; t++ {
+				if d := tm.Demand[s][t]; d > 0 {
+					p := topology.Pair{Src: topology.NodeID(s), Dst: topology.NodeID(t)}
+					bw[p] = m.AddVar(fmt.Sprintf("bw[%d,%d]", s, t), 0, d)
+				}
+			}
+		}
+	}
+
+	// Flow balance at every node v != t for each destination t:
+	//   out(v) - in(v) = scaled demand from v to t.
+	for _, t := range dsts {
+		vars := flow[t]
+		for v := 0; v < n; v++ {
+			if topology.NodeID(v) == t {
+				continue
+			}
+			e := lp.NewExpr()
+			for _, a := range g.OutArcs(topology.NodeID(v)) {
+				if vars[a] >= 0 {
+					e.Add(1, vars[a])
+				}
+				// The reverse of an outgoing arc is the incoming arc.
+				rev := a ^ 1
+				if vars[rev] >= 0 {
+					e.Add(-1, vars[rev])
+				}
+			}
+			d := tm.Demand[v][t]
+			if concurrent {
+				if d > 0 {
+					e.Add(-d, z)
+				}
+				m.AddConstraint(fmt.Sprintf("bal[t%d,v%d]", t, v), e, lp.EQ, 0)
+			} else {
+				if d > 0 {
+					p := topology.Pair{Src: topology.NodeID(v), Dst: t}
+					e.Add(-1, bw[p])
+				}
+				m.AddConstraint(fmt.Sprintf("bal[t%d,v%d]", t, v), e, lp.EQ, 0)
+			}
+		}
+	}
+	// Arc capacities across destinations.
+	for a := 0; a < numArcs; a++ {
+		if !liveArc[a] {
+			continue
+		}
+		e := lp.NewExpr()
+		for _, t := range dsts {
+			if flow[t][a] >= 0 {
+				e.Add(1, flow[t][a])
+			}
+		}
+		if len(e.Terms) == 0 {
+			continue
+		}
+		m.AddConstraint(fmt.Sprintf("cap[a%d]", a), e, lp.LE, g.ArcCapacity(topology.ArcID(a)))
+	}
+
+	obj := lp.NewExpr()
+	if concurrent {
+		obj.Add(1, z)
+	} else {
+		for _, v := range bw {
+			obj.Add(1, v)
+		}
+	}
+	m.SetObjective(obj, lp.Maximize)
+
+	sol, err := lp.Solve(m)
+	if err != nil {
+		return nil, err
+	}
+	switch sol.Status {
+	case lp.StatusOptimal:
+	case lp.StatusInfeasible:
+		// Happens when a demand source is disconnected from its
+		// destination: no positive concurrent scale exists.
+		return &Result{Objective: 0, FlowTo: map[topology.NodeID][]float64{}}, nil
+	case lp.StatusUnbounded:
+		return &Result{Objective: math.Inf(1), FlowTo: map[topology.NodeID][]float64{}}, nil
+	default:
+		return nil, fmt.Errorf("mcf: solver returned %v", sol.Status)
+	}
+	res := &Result{Objective: sol.Objective, FlowTo: make(map[topology.NodeID][]float64, len(dsts))}
+	for _, t := range dsts {
+		fv := make([]float64, numArcs)
+		for a := 0; a < numArcs; a++ {
+			if flow[t][a] >= 0 {
+				fv[a] = sol.Value(flow[t][a])
+			}
+		}
+		res.FlowTo[t] = fv
+	}
+	return res, nil
+}
+
+// MinMLU returns the maximum link utilization of an optimal routing of
+// the full matrix (the inverse of the max concurrent flow scale).
+func MinMLU(g *topology.Graph, tm *traffic.Matrix) (float64, error) {
+	res, err := MaxConcurrentFlow(g, tm, nil)
+	if err != nil {
+		return 0, err
+	}
+	if res.Objective <= 0 {
+		return math.Inf(1), nil
+	}
+	return 1 / res.Objective, nil
+}
+
+// OptimalUnderFailures computes the intrinsic network capability for
+// the demand-scale metric: the worst over all scenarios in fs of the
+// optimal per-scenario concurrent flow. It also returns the worst
+// scenario.
+func OptimalUnderFailures(g *topology.Graph, tm *traffic.Matrix, fs *failures.Set) (float64, failures.Scenario, error) {
+	worst := math.Inf(1)
+	var worstSc failures.Scenario
+	var solveErr error
+	fs.Enumerate(func(sc failures.Scenario) bool {
+		res, err := MaxConcurrentFlow(g, tm, sc.Dead)
+		if err != nil {
+			solveErr = err
+			return false
+		}
+		if res.Objective < worst {
+			worst = res.Objective
+			worstSc = sc
+		}
+		return true
+	})
+	if solveErr != nil {
+		return 0, failures.Scenario{}, solveErr
+	}
+	return worst, worstSc, nil
+}
+
+// ScaleToMLU rescales the matrix so the optimal no-failure MLU falls
+// in [lo, hi], reproducing the paper's evaluation setup. It returns
+// the scaled matrix and the achieved MLU.
+func ScaleToMLU(g *topology.Graph, tm *traffic.Matrix, lo, hi float64) (*traffic.Matrix, float64, error) {
+	if lo <= 0 || hi <= lo {
+		return nil, 0, fmt.Errorf("mcf: bad MLU target [%g, %g]", lo, hi)
+	}
+	mlu, err := MinMLU(g, tm)
+	if err != nil {
+		return nil, 0, err
+	}
+	if math.IsInf(mlu, 1) || mlu == 0 {
+		return nil, 0, fmt.Errorf("mcf: cannot scale matrix with MLU %v", mlu)
+	}
+	// MLU scales linearly with the matrix.
+	target := (lo + hi) / 2
+	scaled := tm.Scale(target / mlu)
+	got, err := MinMLU(g, scaled)
+	if err != nil {
+		return nil, 0, err
+	}
+	if got < lo-1e-6 || got > hi+1e-6 {
+		return nil, 0, fmt.Errorf("mcf: scaling landed at MLU %g, outside [%g, %g]", got, lo, hi)
+	}
+	return scaled, got, nil
+}

@@ -1,0 +1,595 @@
+// Package routing realizes PCF plans as concrete per-failure routings
+// (paper §4). For arbitrary logical sequences it builds the reservation
+// matrix M — an invertible M-matrix (Proposition 5) — and solves one
+// linear system per failure to obtain the traffic each tunnel carries
+// to each destination (Proposition 6, §4.1). When the LSs admit a
+// topological order it also implements the local proportional routing
+// scheme (Proposition 7, §4.2), FFC's distributed response generalized
+// to logical sequences. A validator replays every scenario of the
+// designed failure set and asserts the congestion-free property.
+package routing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pcf/internal/core"
+	"pcf/internal/failures"
+	"pcf/internal/linsolve"
+	"pcf/internal/topology"
+	"pcf/internal/tunnels"
+)
+
+// state captures the failure-dependent view of a plan: which tunnels
+// are live, which LSs are active, and the pairs of interest.
+type state struct {
+	plan      *core.Plan
+	sc        failures.Scenario
+	liveTun   map[topology.Pair][]tunnels.ID
+	activeLoc map[topology.Pair][]core.LSID // L_x(p): active LSs of the pair
+	activeThr map[topology.Pair][]core.LSID // Q_x(p): active LSs using p as a segment
+	pairs     []topology.Pair               // pairs of interest, deterministic order
+	index     map[topology.Pair]int
+}
+
+func newState(plan *core.Plan, sc failures.Scenario) *state {
+	in := plan.Instance
+	st := &state{
+		plan:      plan,
+		sc:        sc,
+		liveTun:   map[topology.Pair][]tunnels.ID{},
+		activeLoc: map[topology.Pair][]core.LSID{},
+		activeThr: map[topology.Pair][]core.LSID{},
+		index:     map[topology.Pair]int{},
+	}
+	for _, p := range in.Tunnels.Pairs() {
+		for _, tid := range in.Tunnels.ForPair(p) {
+			if sc.Alive(in.Tunnels.Tunnel(tid).Path) {
+				st.liveTun[p] = append(st.liveTun[p], tid)
+			}
+		}
+	}
+	for _, q := range in.LSs {
+		if plan.LSRes[q.ID] <= 0 || !q.Cond.Holds(sc) {
+			continue
+		}
+		st.activeLoc[q.Pair] = append(st.activeLoc[q.Pair], q.ID)
+		for _, seg := range q.Segments() {
+			st.activeThr[seg] = append(st.activeThr[seg], q.ID)
+		}
+	}
+	// Pairs of interest: transitive closure from positive demands
+	// through active LSs with positive reservation (appendix
+	// definition).
+	inP := map[topology.Pair]bool{}
+	var queue []topology.Pair
+	add := func(p topology.Pair) {
+		if !inP[p] {
+			inP[p] = true
+			queue = append(queue, p)
+		}
+	}
+	for _, p := range in.DemandPairs() {
+		if plan.ScaledDemand(p) > 1e-12 {
+			add(p)
+		}
+	}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, qid := range st.activeLoc[p] {
+			for _, seg := range in.LSs[qid].Segments() {
+				add(seg)
+			}
+		}
+	}
+	// Deterministic order.
+	for s := 0; s < in.Graph.NumNodes(); s++ {
+		for t := 0; t < in.Graph.NumNodes(); t++ {
+			p := topology.Pair{Src: topology.NodeID(s), Dst: topology.NodeID(t)}
+			if inP[p] {
+				st.index[p] = len(st.pairs)
+				st.pairs = append(st.pairs, p)
+			}
+		}
+	}
+	return st
+}
+
+// diag returns the total live reservation available to pair p.
+func (st *state) diag(p topology.Pair) float64 {
+	total := 0.0
+	for _, tid := range st.liveTun[p] {
+		total += st.plan.TunnelRes[tid]
+	}
+	for _, qid := range st.activeLoc[p] {
+		total += st.plan.LSRes[qid]
+	}
+	return total
+}
+
+// Matrix builds the reservation matrix M of §4.1 over the pairs of
+// interest (row-major, len(pairs) x len(pairs)).
+func (st *state) Matrix() []float64 {
+	n := len(st.pairs)
+	m := make([]float64, n*n)
+	for i, p := range st.pairs {
+		m[i*n+i] = st.diag(p)
+		// Row p gains -b_q for every active LS q that uses p as a
+		// segment, in the column of q's own pair.
+		for _, qid := range st.activeThr[p] {
+			q := st.plan.Instance.LSs[qid]
+			j, ok := st.index[q.Pair]
+			if !ok {
+				continue // q's pair carries nothing; its load is zero
+			}
+			m[i*n+j] -= st.plan.LSRes[qid]
+		}
+	}
+	return m
+}
+
+// demandVec returns the D vector: scaled demand per pair of interest.
+func (st *state) demandVec() []float64 {
+	d := make([]float64, len(st.pairs))
+	for i, p := range st.pairs {
+		d[i] = st.plan.ScaledDemand(p)
+	}
+	return d
+}
+
+// Realization is a concrete routing for one failure scenario.
+type Realization struct {
+	Scenario failures.Scenario
+	// Pairs are the pairs of interest in matrix order.
+	Pairs []topology.Pair
+	// U is the aggregate utilization fraction of each pair's
+	// reservation (the solution of M·U = D); all entries lie in [0,1].
+	U []float64
+	// TunnelTo[t][l] is the traffic destined to node t carried on
+	// tunnel l (Proposition 6's r_lt).
+	TunnelTo map[topology.NodeID]map[tunnels.ID]float64
+	// ArcLoad is the total traffic per arc.
+	ArcLoad []float64
+}
+
+// Realize computes the routing for a scenario by solving the linear
+// systems of §4.1 with a shared LU factorization of M.
+func Realize(plan *core.Plan, sc failures.Scenario) (*Realization, error) {
+	st := newState(plan, sc)
+	n := len(st.pairs)
+	in := plan.Instance
+	res := &Realization{
+		Scenario: sc,
+		Pairs:    st.pairs,
+		TunnelTo: map[topology.NodeID]map[tunnels.ID]float64{},
+		ArcLoad:  make([]float64, in.Graph.NumArcs()),
+	}
+	if n == 0 {
+		return res, nil
+	}
+	mat := st.Matrix()
+	for i, p := range st.pairs {
+		if mat[i*n+i] <= 1e-12 {
+			return nil, fmt.Errorf("routing: pair %v of interest has no live reservation under %v", p, sc)
+		}
+	}
+	lu, err := linsolve.Factor(mat, n)
+	if err != nil {
+		return nil, fmt.Errorf("routing: reservation matrix singular under %v: %w", sc, err)
+	}
+	u, err := lu.Solve(st.demandVec())
+	if err != nil {
+		return nil, err
+	}
+	res.U = u
+	for i := range u {
+		if u[i] < -1e-7 || u[i] > 1+1e-7 {
+			return nil, fmt.Errorf("routing: U[%v] = %g outside [0,1] under %v (Proposition 5 violated — plan not feasible for this scenario)",
+				st.pairs[i], u[i], sc)
+		}
+	}
+	// Per-destination systems M·U_t = D_t, sharing the factorization.
+	destSet := map[topology.NodeID]bool{}
+	for _, p := range in.DemandPairs() {
+		if plan.ScaledDemand(p) > 1e-12 {
+			destSet[p.Dst] = true
+		}
+	}
+	for t := 0; t < in.Graph.NumNodes(); t++ {
+		dst := topology.NodeID(t)
+		if !destSet[dst] {
+			continue
+		}
+		dt := make([]float64, n)
+		for i, p := range st.pairs {
+			if p.Dst == dst {
+				dt[i] = plan.ScaledDemand(p)
+			}
+		}
+		ut, err := lu.Solve(dt)
+		if err != nil {
+			return nil, err
+		}
+		flows := map[tunnels.ID]float64{}
+		for i, p := range st.pairs {
+			if ut[i] <= 1e-12 {
+				continue
+			}
+			for _, tid := range st.liveTun[p] {
+				r := ut[i] * plan.TunnelRes[tid]
+				if r <= 1e-12 {
+					continue
+				}
+				flows[tid] += r
+				for _, a := range in.Tunnels.Tunnel(tid).Path.Arcs {
+					res.ArcLoad[a] += r
+				}
+			}
+		}
+		res.TunnelTo[dst] = flows
+	}
+	return res, nil
+}
+
+// RealizeProportional computes the routing with the local proportional
+// scheme of §4.2: traffic of each pair is split over its live tunnels
+// and active LSs in proportion to their reservations, processing pairs
+// in topological order. It fails if the active LSs are not
+// topologically sortable.
+func RealizeProportional(plan *core.Plan, sc failures.Scenario) (*Realization, error) {
+	st := newState(plan, sc)
+	in := plan.Instance
+	res := &Realization{
+		Scenario: sc,
+		Pairs:    st.pairs,
+		TunnelTo: map[topology.NodeID]map[tunnels.ID]float64{},
+		ArcLoad:  make([]float64, in.Graph.NumArcs()),
+	}
+	if len(st.pairs) == 0 {
+		return res, nil
+	}
+	var activeLSs []core.LogicalSequence
+	for _, q := range in.LSs {
+		if plan.LSRes[q.ID] > 0 && q.Cond.Holds(sc) {
+			activeLSs = append(activeLSs, q)
+		}
+	}
+	// Order pairs so that LS pairs precede their segments.
+	lsPairs := map[topology.Pair]bool{}
+	for _, q := range activeLSs {
+		lsPairs[q.Pair] = true
+		for _, seg := range q.Segments() {
+			lsPairs[seg] = true
+		}
+	}
+	var universe []topology.Pair
+	seen := map[topology.Pair]bool{}
+	for _, p := range st.pairs {
+		universe = append(universe, p)
+		seen[p] = true
+	}
+	for p := range lsPairs {
+		if !seen[p] {
+			universe = append(universe, p)
+		}
+	}
+	order, err := core.TopologicalPairOrder(activeLSs, universe)
+	if err != nil {
+		return nil, fmt.Errorf("routing: %w", err)
+	}
+
+	// Per-destination demand propagated down the topological order.
+	destSet := map[topology.NodeID]bool{}
+	for _, p := range in.DemandPairs() {
+		if plan.ScaledDemand(p) > 1e-12 {
+			destSet[p.Dst] = true
+		}
+	}
+	uAgg := make(map[topology.Pair]float64)
+	for t := 0; t < in.Graph.NumNodes(); t++ {
+		dst := topology.NodeID(t)
+		if !destSet[dst] {
+			continue
+		}
+		// load[p] is the traffic for destination dst pair p must carry.
+		load := map[topology.Pair]float64{}
+		for _, p := range st.pairs {
+			if p.Dst == dst {
+				load[p] += plan.ScaledDemand(p)
+			}
+		}
+		flows := map[tunnels.ID]float64{}
+		for _, p := range order {
+			d := load[p]
+			if d <= 1e-12 {
+				continue
+			}
+			total := st.diag(p)
+			if total <= 1e-12 {
+				return nil, fmt.Errorf("routing: pair %v must carry %g but has no live reservation under %v", p, d, sc)
+			}
+			u := d / total
+			if u > 1+1e-7 {
+				return nil, fmt.Errorf("routing: pair %v oversubscribed (u=%g) under %v", p, u, sc)
+			}
+			uAgg[p] += u
+			for _, tid := range st.liveTun[p] {
+				r := u * plan.TunnelRes[tid]
+				if r <= 1e-12 {
+					continue
+				}
+				flows[tid] += r
+				for _, a := range in.Tunnels.Tunnel(tid).Path.Arcs {
+					res.ArcLoad[a] += r
+				}
+			}
+			for _, qid := range st.activeLoc[p] {
+				bq := u * plan.LSRes[qid]
+				if bq <= 1e-12 {
+					continue
+				}
+				for _, seg := range in.LSs[qid].Segments() {
+					load[seg] += bq
+				}
+			}
+		}
+		res.TunnelTo[dst] = flows
+	}
+	res.U = make([]float64, len(st.pairs))
+	for i, p := range st.pairs {
+		res.U[i] = uAgg[p]
+		if res.U[i] > 1+1e-6 {
+			return nil, fmt.Errorf("routing: pair %v aggregate utilization %g > 1 under %v", p, res.U[i], sc)
+		}
+	}
+	return res, nil
+}
+
+// CheckRealization verifies Proposition 6's properties for one
+// realization: per-destination flow conservation at every node, and
+// arc loads within capacity.
+func CheckRealization(plan *core.Plan, r *Realization) error {
+	in := plan.Instance
+	g := in.Graph
+	for a := 0; a < g.NumArcs(); a++ {
+		if r.ArcLoad[a] > g.ArcCapacity(topology.ArcID(a))+1e-6 {
+			return fmt.Errorf("routing: arc %d overloaded: %g > %g under %v",
+				a, r.ArcLoad[a], g.ArcCapacity(topology.ArcID(a)), r.Scenario)
+		}
+	}
+	for dst, flows := range r.TunnelTo {
+		// Node balance over the pair-level flow: tunnel l of pair
+		// (i,j) is an edge i->j carrying flows[l].
+		net := make([]float64, g.NumNodes())
+		for tid, v := range flows {
+			p := in.Tunnels.Tunnel(tid).Pair
+			net[p.Src] += v
+			net[p.Dst] -= v
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			node := topology.NodeID(v)
+			want := 0.0
+			if node != dst {
+				want = plan.ScaledDemand(topology.Pair{Src: node, Dst: dst})
+			} else {
+				for _, p := range in.DemandPairs() {
+					if p.Dst == dst {
+						want -= plan.ScaledDemand(p)
+					}
+				}
+			}
+			if math.Abs(net[v]-want) > 1e-6 {
+				return fmt.Errorf("routing: destination %d node %d ships %g, want %g under %v",
+					dst, v, net[v], want, r.Scenario)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateOptions tune plan validation.
+type ValidateOptions struct {
+	// Proportional uses the §4.2 local proportional router instead of
+	// the linear-system realization.
+	Proportional bool
+}
+
+// Validate replays every scenario of the plan's designed failure set,
+// realizes the routing, and verifies the congestion-free property: all
+// admitted demand is delivered and no arc exceeds its capacity.
+func Validate(plan *core.Plan, opts ValidateOptions) error {
+	var firstErr error
+	plan.Instance.Failures.Enumerate(func(sc failures.Scenario) bool {
+		var r *Realization
+		var err error
+		if opts.Proportional {
+			r, err = RealizeProportional(plan, sc)
+		} else {
+			r, err = Realize(plan, sc)
+		}
+		if err == nil {
+			err = CheckRealization(plan, r)
+		}
+		if err != nil {
+			firstErr = err
+			return false
+		}
+		return true
+	})
+	return firstErr
+}
+
+// RemoveCycles cancels circulation in the per-destination tunnel flows
+// of a realization (Proposition 6 notes the linear-system solution may
+// contain loops that can be subtracted in post-processing). Cycles are
+// found on the pair-level flow graph — tunnel l of pair (i,j) is an
+// edge i->j — and cancelled by reducing every tunnel on the cycle by
+// the bottleneck amount. Arc loads are rebuilt afterwards.
+func RemoveCycles(plan *core.Plan, r *Realization) {
+	in := plan.Instance
+	for dst, flows := range r.TunnelTo {
+		for {
+			cyc := findFlowCycle(in, flows)
+			if cyc == nil {
+				break
+			}
+			// Bottleneck over the cycle.
+			min := math.Inf(1)
+			for _, tid := range cyc {
+				if flows[tid] < min {
+					min = flows[tid]
+				}
+			}
+			for _, tid := range cyc {
+				flows[tid] -= min
+				if flows[tid] <= 1e-12 {
+					delete(flows, tid)
+				}
+			}
+		}
+		r.TunnelTo[dst] = flows
+	}
+	// Rebuild arc loads.
+	for a := range r.ArcLoad {
+		r.ArcLoad[a] = 0
+	}
+	for _, flows := range r.TunnelTo {
+		for tid, v := range flows {
+			for _, a := range in.Tunnels.Tunnel(tid).Path.Arcs {
+				r.ArcLoad[a] += v
+			}
+		}
+	}
+}
+
+// findFlowCycle returns the tunnel IDs of one directed cycle in the
+// pair-level flow graph, or nil. Iteration orders are sorted so the
+// cancellation is deterministic.
+func findFlowCycle(in *core.Instance, flows map[tunnels.ID]float64) []tunnels.ID {
+	// Build adjacency: node -> outgoing tunnels with positive flow.
+	ids := make([]tunnels.ID, 0, len(flows))
+	for tid, v := range flows {
+		if v > 1e-12 {
+			ids = append(ids, tid)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	adj := map[topology.NodeID][]tunnels.ID{}
+	for _, tid := range ids {
+		p := in.Tunnels.Tunnel(tid).Pair
+		adj[p.Src] = append(adj[p.Src], tid)
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[topology.NodeID]int{}
+	parent := map[topology.NodeID]tunnels.ID{}
+	var cycle []tunnels.ID
+	var dfs func(n topology.NodeID) topology.NodeID
+	dfs = func(n topology.NodeID) topology.NodeID {
+		color[n] = gray
+		for _, tid := range adj[n] {
+			next := in.Tunnels.Tunnel(tid).Pair.Dst
+			switch color[next] {
+			case gray:
+				// Found a cycle; unwind from n back to next.
+				cycle = []tunnels.ID{tid}
+				at := n
+				for at != next {
+					ptid := parent[at]
+					cycle = append(cycle, ptid)
+					at = in.Tunnels.Tunnel(ptid).Pair.Src
+				}
+				return next
+			case white:
+				parent[next] = tid
+				if head := dfs(next); head >= 0 {
+					return head
+				}
+			}
+		}
+		color[n] = black
+		return -1
+	}
+	starts := make([]topology.NodeID, 0, len(adj))
+	for n := range adj {
+		starts = append(starts, n)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	for _, n := range starts {
+		if color[n] == white {
+			if dfs(n) >= 0 {
+				return cycle
+			}
+		}
+	}
+	return nil
+}
+
+// WorstMLU replays every protected scenario and returns the maximum
+// link utilization observed and the scenario that produces it — the
+// data-plane counterpart of the plan's 1/z guarantee.
+func WorstMLU(plan *core.Plan, opts ValidateOptions) (float64, failures.Scenario, error) {
+	worst := 0.0
+	var worstSc failures.Scenario
+	var firstErr error
+	plan.Instance.Failures.Enumerate(func(sc failures.Scenario) bool {
+		var r *Realization
+		var err error
+		if opts.Proportional {
+			r, err = RealizeProportional(plan, sc)
+		} else {
+			r, err = Realize(plan, sc)
+		}
+		if err != nil {
+			firstErr = err
+			return false
+		}
+		g := plan.Instance.Graph
+		for a, load := range r.ArcLoad {
+			if c := g.ArcCapacity(topology.ArcID(a)); c > 0 {
+				if u := load / c; u > worst {
+					worst = u
+					worstSc = sc
+				}
+			}
+		}
+		return true
+	})
+	return worst, worstSc, firstErr
+}
+
+// RealizeIterative computes the aggregate utilizations U with the
+// Jacobi iteration instead of a direct solve — the fully distributed
+// implementation the paper sketches in §4.3: each node pair repeatedly
+// updates its own utilization from its neighbors' values, which is
+// possible because M is a weakly chained diagonally dominant M-matrix
+// (Proposition 5) and therefore the iteration converges. Returns the
+// utilizations in the same pair order as Realize.
+func RealizeIterative(plan *core.Plan, sc failures.Scenario, maxSweeps int, tol float64) ([]topology.Pair, []float64, error) {
+	st := newState(plan, sc)
+	n := len(st.pairs)
+	if n == 0 {
+		return nil, nil, nil
+	}
+	mat := st.Matrix()
+	for i, p := range st.pairs {
+		if mat[i*n+i] <= 1e-12 {
+			return nil, nil, fmt.Errorf("routing: pair %v has no live reservation under %v", p, sc)
+		}
+	}
+	res, err := linsolve.Jacobi(mat, st.demandVec(), n, maxSweeps, tol)
+	if err != nil {
+		return nil, nil, fmt.Errorf("routing: distributed iteration: %w", err)
+	}
+	for i, u := range res.X {
+		if u < -1e-6 || u > 1+1e-6 {
+			return nil, nil, fmt.Errorf("routing: iterative U[%v] = %g outside [0,1]", st.pairs[i], u)
+		}
+	}
+	return st.pairs, res.X, nil
+}

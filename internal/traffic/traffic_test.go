@@ -1,0 +1,153 @@
+package traffic
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pcf/internal/topology"
+)
+
+func ring(n int) *topology.Graph {
+	g := topology.New("ring")
+	for i := 0; i < n; i++ {
+		g.AddNode("n")
+	}
+	for i := 0; i < n; i++ {
+		g.AddLink(topology.NodeID(i), topology.NodeID((i+1)%n), 10)
+	}
+	return g
+}
+
+func TestGravityBasics(t *testing.T) {
+	g := ring(5)
+	tm := Gravity(g, GravityOptions{Seed: 1, Total: 100})
+	if err := tm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tm.Total()-100) > 1e-9 {
+		t.Fatalf("total = %g, want 100", tm.Total())
+	}
+	// Symmetric masses on a symmetric ring with no jitter: all demands equal.
+	tm0 := Gravity(g, GravityOptions{Seed: 1, Total: 100, Jitter: 0})
+	first := tm0.Demand[0][1]
+	for s := 0; s < 5; s++ {
+		for d := 0; d < 5; d++ {
+			if s != d && math.Abs(tm0.Demand[s][d]-first) > 1e-9 {
+				t.Fatalf("unjittered ring demands not uniform: %g vs %g", tm0.Demand[s][d], first)
+			}
+		}
+	}
+}
+
+func TestGravitySeedsDiffer(t *testing.T) {
+	g := ring(6)
+	a := Gravity(g, GravityOptions{Seed: 1, Jitter: 0.4, Total: 10})
+	b := Gravity(g, GravityOptions{Seed: 2, Jitter: 0.4, Total: 10})
+	same := true
+	for s := 0; s < 6 && same; s++ {
+		for d := 0; d < 6; d++ {
+			if math.Abs(a.Demand[s][d]-b.Demand[s][d]) > 1e-12 {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical matrices")
+	}
+	// Same seed reproduces exactly.
+	c := Gravity(g, GravityOptions{Seed: 1, Jitter: 0.4, Total: 10})
+	for s := 0; s < 6; s++ {
+		for d := 0; d < 6; d++ {
+			if a.Demand[s][d] != c.Demand[s][d] {
+				t.Fatal("same seed not reproducible")
+			}
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	g := ring(4)
+	tm := Gravity(g, GravityOptions{Seed: 3, Total: 8})
+	tm2 := tm.Scale(2.5)
+	if math.Abs(tm2.Total()-20) > 1e-9 {
+		t.Fatalf("scaled total = %g", tm2.Total())
+	}
+	if tm.Total() != 8 {
+		t.Fatal("Scale mutated the receiver")
+	}
+}
+
+func TestPairsSortedByDemand(t *testing.T) {
+	m := NewMatrix(3)
+	m.Demand[0][1] = 5
+	m.Demand[1][2] = 9
+	m.Demand[2][0] = 1
+	pairs := m.Pairs(0)
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	if pairs[0] != (topology.Pair{Src: 1, Dst: 2}) {
+		t.Fatalf("first pair %v", pairs[0])
+	}
+	if pairs[2] != (topology.Pair{Src: 2, Dst: 0}) {
+		t.Fatalf("last pair %v", pairs[2])
+	}
+	top := m.TopPairs(2)
+	if len(top) != 2 || top[0] != (topology.Pair{Src: 1, Dst: 2}) {
+		t.Fatalf("top pairs %v", top)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	m := NewMatrix(3)
+	m.Demand[0][1] = 5
+	m.Demand[1][2] = 9
+	r := m.Restrict([]topology.Pair{{Src: 0, Dst: 1}})
+	if r.Demand[0][1] != 5 || r.Demand[1][2] != 0 {
+		t.Fatalf("restrict wrong: %v", r.Demand)
+	}
+}
+
+func TestUniformAndSingle(t *testing.T) {
+	g := ring(3)
+	u := Uniform(g, 2)
+	if u.Total() != 12 {
+		t.Fatalf("uniform total = %g", u.Total())
+	}
+	s := Single(3, topology.Pair{Src: 0, Dst: 2}, 7)
+	if s.Total() != 7 || s.At(topology.Pair{Src: 0, Dst: 2}) != 7 {
+		t.Fatal("single wrong")
+	}
+}
+
+func TestValidateCatchesBadMatrices(t *testing.T) {
+	m := NewMatrix(2)
+	m.Demand[0][1] = -1
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative demand not caught")
+	}
+	m2 := NewMatrix(2)
+	m2.Demand[1][1] = 3
+	if err := m2.Validate(); err == nil {
+		t.Fatal("self demand not caught")
+	}
+}
+
+func TestReadMatrix(t *testing.T) {
+	input := "# tm\n0 1 5\n1 2 3.5\n"
+	m, err := ReadMatrix(strings.NewReader(input), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Demand[0][1] != 5 || m.Demand[1][2] != 3.5 {
+		t.Fatalf("parsed wrong: %v", m.Demand)
+	}
+	if _, err := ReadMatrix(strings.NewReader("0 9 1\n"), 3); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if _, err := ReadMatrix(strings.NewReader("1 1 4\n"), 3); err == nil {
+		t.Fatal("self demand accepted")
+	}
+}
