@@ -6,12 +6,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"sort"
+	"strings"
 	"text/tabwriter"
+	"time"
 
 	"pcf/internal/core"
 	"pcf/internal/eval"
@@ -24,16 +27,42 @@ import (
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pcfplan: ")
 	topo := flag.String("topology", "Sprint", "Topology Zoo name")
 	linksFile := flag.String("links", "", "load the topology from a links file (cmd/topogen format) instead")
 	tmFile := flag.String("tm", "", "load the traffic matrix from a file (requires -links)")
-	scheme := flag.String("scheme", "pcf-tf", "ffc | pcf-tf | pcf-ls | pcf-cls")
+	scheme := flag.String("scheme", "pcf-tf", "ffc | pcf-tf | pcf-ls | pcf-cls | best")
 	f := flag.Int("f", 1, "simultaneous link failures to protect against")
 	pairs := flag.Int("pairs", 20, "top-K demand pairs")
 	seed := flag.Int64("seed", 1, "traffic matrix seed")
+	timeout := flag.Duration("timeout", 0, "overall solve deadline (0 = none), e.g. 30s")
 	validate := flag.Bool("validate", false, "replay every scenario and verify the congestion-free property")
 	showRes := flag.Bool("reservations", false, "print per-tunnel reservations")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var name string
+	switch *scheme {
+	case "ffc":
+		name = eval.SchemeFFC
+	case "pcf-tf":
+		name = eval.SchemePCFTF
+	case "pcf-ls":
+		name = eval.SchemePCFLS
+	case "pcf-cls":
+		name = eval.SchemePCFCLS
+	case "best":
+		// Handled below: degradation ladder over PCF-CLS → PCF-LS → FFC.
+	default:
+		log.Fatalf("unknown scheme %q", *scheme)
+	}
 
 	var setup *eval.Setup
 	var err error
@@ -52,46 +81,56 @@ func main() {
 		*topo, setup.Graph.NumNodes(), setup.Graph.NumLinks(), len(setup.Pairs),
 		*f, setup.Failures.NumScenariosExact(), setup.MLU)
 
-	var name string
-	switch *scheme {
-	case "ffc":
-		name = eval.SchemeFFC
-	case "pcf-tf":
-		name = eval.SchemePCFTF
-	case "pcf-ls":
-		name = eval.SchemePCFLS
-	case "pcf-cls":
-		name = eval.SchemePCFCLS
-	default:
-		log.Fatalf("unknown scheme %q", *scheme)
-	}
-	res, err := setup.Run(name)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("%s guaranteed demand scale: %.4f (solved in %v)\n", res.Scheme, res.Value, res.Time.Round(1e6))
-
-	if *showRes || *validate {
-		// Recompute the plan itself for reservations / validation.
-		var plan *core.Plan
+	var plan *core.Plan
+	if *scheme == "best" {
 		in := &core.Instance{
 			Graph: setup.Graph, TM: setup.TM, Tunnels: setup.Tunnels,
 			Failures: setup.Failures, Objective: core.DemandScale,
 		}
-		switch name {
-		case eval.SchemeFFC:
-			plan, err = core.SolveFFC(in, core.SolveOptions{})
-		case eval.SchemePCFTF:
-			plan, err = core.SolvePCFTF(in, core.SolveOptions{})
-		default:
-			clsIn, _, err2 := core.BuildCLSQuick(in)
-			if err2 != nil {
-				log.Fatal(err2)
-			}
-			plan, err = core.SolvePCFCLS(clsIn, core.SolveOptions{})
-		}
+		clsIn, _, err := core.BuildCLSQuick(in)
 		if err != nil {
 			log.Fatal(err)
+		}
+		start := time.Now()
+		plan, err = core.SolveBest(clsIn, core.SolveOptions{Context: ctx})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s guaranteed demand scale: %.4f (solved in %v)\n",
+			plan.Scheme, plan.Value, time.Since(start).Round(time.Millisecond))
+		if len(plan.Degraded) > 0 {
+			fmt.Printf("degraded: abandoned %s\n", strings.Join(plan.Degraded, ", "))
+		}
+	} else {
+		res, err := setup.RunContext(ctx, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s guaranteed demand scale: %.4f (solved in %v)\n", res.Scheme, res.Value, res.Time.Round(1e6))
+	}
+
+	if *showRes || *validate {
+		if plan == nil {
+			// Recompute the plan itself for reservations / validation.
+			in := &core.Instance{
+				Graph: setup.Graph, TM: setup.TM, Tunnels: setup.Tunnels,
+				Failures: setup.Failures, Objective: core.DemandScale,
+			}
+			switch name {
+			case eval.SchemeFFC:
+				plan, err = core.SolveFFC(in, core.SolveOptions{Context: ctx})
+			case eval.SchemePCFTF:
+				plan, err = core.SolvePCFTF(in, core.SolveOptions{Context: ctx})
+			default:
+				clsIn, _, err2 := core.BuildCLSQuick(in)
+				if err2 != nil {
+					log.Fatal(err2)
+				}
+				plan, err = core.SolvePCFCLS(clsIn, core.SolveOptions{Context: ctx})
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
 		}
 		if *showRes {
 			printReservations(plan)

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"pcf/internal/lp"
+)
+
+// degradable reports whether a rung failure should drop to the next
+// rung: numerical breakdown, an exhausted iteration or cut budget, or a
+// rung-local timeout. Infeasibility does not qualify — CLS is the most
+// expressive scheme, so if it is infeasible every lower rung is too.
+func degradable(err error) bool {
+	return errors.Is(err, lp.ErrNumerical) ||
+		errors.Is(err, lp.ErrIterLimit) ||
+		errors.Is(err, ErrCutLimit) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// stripConditional returns a copy of in with only the unconditional
+// logical sequences, renumbered densely so Instance.Validate accepts
+// the copy.
+func stripConditional(in *Instance) *Instance {
+	out := *in
+	out.LSs = nil
+	for _, q := range in.LSs {
+		if q.Cond == nil {
+			q.ID = LSID(len(out.LSs))
+			out.LSs = append(out.LSs, q)
+		}
+	}
+	return &out
+}
+
+// SolveBest runs the solve degradation ladder: PCF-CLS, then PCF-LS
+// (conditional logical sequences stripped), then FFC. A rung is
+// abandoned — and recorded in Plan.Degraded — when it times out
+// (RungTimeout), breaks down numerically, or exhausts an iteration or
+// cut budget; any other failure, and cancellation of the overall
+// Context, aborts the ladder immediately. Every rung optimizes the
+// same congestion-free model family, so a downgrade weakens
+// optimality, never the proved guarantee of the plan that is returned.
+func SolveBest(in *Instance, opts SolveOptions) (*Plan, error) {
+	type rung struct {
+		name  string
+		solve func(*Instance, SolveOptions) (*Plan, error)
+		inst  *Instance
+	}
+	rungs := []rung{
+		{"PCF-CLS", SolvePCFCLS, in},
+		{"PCF-LS", SolvePCFLS, stripConditional(in)},
+		{"FFC", SolveFFC, in},
+	}
+
+	var degraded []string
+	var firstErr error
+	for _, r := range rungs {
+		if err := opts.ctxErr(); err != nil {
+			return nil, fmt.Errorf("core: SolveBest canceled before %s: %w", r.name, err)
+		}
+		rungOpts := opts
+		var cancel context.CancelFunc
+		if opts.RungTimeout > 0 {
+			parent := opts.Context
+			if parent == nil {
+				parent = context.Background()
+			}
+			rungOpts.Context, cancel = context.WithTimeout(parent, opts.RungTimeout)
+			rungOpts.LP.Context = rungOpts.Context
+		}
+		plan, err := r.solve(r.inst, rungOpts)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			plan.Degraded = degraded
+			return plan, nil
+		}
+		// A rung-local deadline is degradable only while the overall
+		// context is still live; otherwise the whole solve is out of
+		// time and retrying lower rungs would just burn the caller.
+		if !degradable(err) || opts.ctxErr() != nil {
+			return nil, fmt.Errorf("core: SolveBest %s: %w", r.name, err)
+		}
+		degraded = append(degraded, r.name)
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, fmt.Errorf("core: SolveBest exhausted all rungs (%v): %w", degraded, firstErr)
+}

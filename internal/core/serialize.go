@@ -25,6 +25,7 @@ type planJSON struct {
 	Demands   []demandJSON    `json:"demands"`
 	Tunnels   []tunnelResJSON `json:"tunnels"`
 	LSs       []lsJSON        `json:"logical_sequences,omitempty"`
+	Degraded  []string        `json:"degraded,omitempty"`
 }
 
 type demandJSON struct {
@@ -59,6 +60,7 @@ func (p *Plan) WriteJSON(w io.Writer) error {
 		Objective: p.Objective.String(),
 		Value:     p.Value,
 		SolveMS:   int64(p.SolveTime / time.Millisecond),
+		Degraded:  p.Degraded,
 	}
 	for _, pair := range in.DemandPairs() {
 		out.Demands = append(out.Demands, demandJSON{
@@ -130,6 +132,7 @@ func ReadPlanJSON(r io.Reader, in *Instance) (*Plan, error) {
 		LSRes:     map[LSID]float64{},
 		SolveTime: time.Duration(pj.SolveMS) * time.Millisecond,
 		Instance:  in,
+		Degraded:  pj.Degraded,
 	}
 	switch pj.Objective {
 	case Throughput.String():

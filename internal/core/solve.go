@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -33,7 +35,16 @@ type SolveOptions struct {
 	MaxRounds int
 	// Tol is the constraint violation tolerance (default 1e-7).
 	Tol float64
-	// LP passes options to the simplex solver.
+	// Context, when non-nil, bounds the whole solve: its deadline and
+	// cancellation are checked between cutting-plane rounds and inside
+	// the simplex iteration loop. Errors wrap the context error, so
+	// errors.Is(err, context.DeadlineExceeded) works.
+	Context context.Context
+	// RungTimeout, when positive, bounds each rung of SolveBest's
+	// degradation ladder separately (within the overall Context).
+	RungTimeout time.Duration
+	// LP passes options to the simplex solver. Its Context field is
+	// filled from Context above unless already set.
 	LP lp.Options
 }
 
@@ -44,8 +55,22 @@ func (o SolveOptions) withDefaults() SolveOptions {
 	if o.Tol == 0 {
 		o.Tol = 1e-7
 	}
+	if o.LP.Context == nil {
+		o.LP.Context = o.Context
+	}
 	return o
 }
+
+func (o SolveOptions) ctxErr() error {
+	if o.Context == nil {
+		return nil
+	}
+	return o.Context.Err()
+}
+
+// ErrCutLimit reports that lazy cut generation exhausted MaxRounds
+// without converging. Matched with errors.Is.
+var ErrCutLimit = errors.New("core: cut generation round limit exhausted")
 
 // advBuilder builds the per-pair adversary spec for a scheme.
 type advBuilder func(in *Instance, p topology.Pair, mv *masterVars) *advSpec
@@ -165,7 +190,7 @@ func solveScheme(in *Instance, scheme string, withLS bool, build advBuilder, opt
 		}
 	}
 	if sol.Status != lp.StatusOptimal {
-		return nil, fmt.Errorf("%s: master LP %v", scheme, sol.Status)
+		return nil, fmt.Errorf("%s: master LP: %w", scheme, sol.Err())
 	}
 	return extractPlan(in, scheme, sol, mv, time.Since(start)), nil
 }
@@ -222,6 +247,10 @@ func solveByCuts(base *lp.Model, specs []*advSpec, opts SolveOptions) (*lp.Solut
 
 	costBuf := make([]float64, 0, 64)
 	for round := 0; round < opts.MaxRounds; round++ {
+		if err := opts.ctxErr(); err != nil {
+			return nil, fmt.Errorf("cut generation canceled after %d rounds (%d cuts): %w",
+				round, len(cuts), err)
+		}
 		// Fresh master: base rows plus the active cuts.
 		m := base.Clone()
 		for _, c := range cuts {
@@ -280,7 +309,7 @@ func solveByCuts(base *lp.Model, specs []*advSpec, opts SolveOptions) (*lp.Solut
 			return sol, nil
 		}
 	}
-	return nil, fmt.Errorf("cut generation did not converge in %d rounds", opts.MaxRounds)
+	return nil, fmt.Errorf("%w (%d rounds, %d cuts live)", ErrCutLimit, opts.MaxRounds, len(cuts))
 }
 
 func extractPlan(in *Instance, scheme string, sol *lp.Solution, mv *masterVars, dur time.Duration) *Plan {

@@ -254,6 +254,9 @@ type Plan struct {
 	SolveTime time.Duration
 	// Instance the plan was computed for.
 	Instance *Instance
+	// Degraded lists the scheme rungs SolveBest tried and abandoned
+	// before this plan was produced (empty for a direct solve).
+	Degraded []string
 }
 
 // ScaledDemand returns z_p * d_p for a pair under this plan.

@@ -7,6 +7,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -161,17 +162,26 @@ var AllSchemes = []string{
 
 // Run executes one scheme on the setup.
 func (s *Setup) Run(scheme string) (Result, error) {
+	return s.RunContext(nil, scheme)
+}
+
+// RunContext executes one scheme on the setup under a context: the
+// deadline and cancellation propagate into every LP solve and scenario
+// enumeration, and the resulting error wraps the context error. A nil
+// ctx means no bound.
+func (s *Setup) RunContext(ctx context.Context, scheme string) (Result, error) {
 	start := time.Now()
+	solveOpts := core.SolveOptions{Context: ctx}
 	switch scheme {
 	case SchemeFFC:
 		in := s.instance(s.Opts.FFCTunnels)
-		plan, err := core.SolveFFC(in, core.SolveOptions{})
+		plan, err := core.SolveFFC(in, solveOpts)
 		if err != nil {
 			return Result{}, err
 		}
 		return Result{Scheme: scheme, Value: plan.Value, Time: plan.SolveTime}, nil
 	case SchemePCFTF:
-		plan, err := core.SolvePCFTF(s.instance(0), core.SolveOptions{})
+		plan, err := core.SolvePCFTF(s.instance(0), solveOpts)
 		if err != nil {
 			return Result{}, err
 		}
@@ -181,7 +191,7 @@ func (s *Setup) Run(scheme string) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		plan, err := core.SolvePCFLS(in, core.SolveOptions{})
+		plan, err := core.SolvePCFLS(in, solveOpts)
 		if err != nil {
 			return Result{}, err
 		}
@@ -224,13 +234,13 @@ func (s *Setup) Run(scheme string) (Result, error) {
 			}
 			clsIn.Tunnels = ts2
 		}
-		plan, err := core.SolvePCFCLS(clsIn, core.SolveOptions{})
+		plan, err := core.SolvePCFCLS(clsIn, solveOpts)
 		if err != nil {
 			return Result{}, err
 		}
 		return Result{Scheme: scheme, Value: plan.Value, Time: time.Since(start), Extra: extra}, nil
 	case SchemeR3:
-		plan, err := core.SolveR3(s.instance(0), core.SolveOptions{})
+		plan, err := core.SolveR3(s.instance(0), solveOpts)
 		if err != nil {
 			return Result{}, err
 		}
@@ -239,7 +249,7 @@ func (s *Setup) Run(scheme string) (Result, error) {
 		if s.Opts.Objective == core.Throughput {
 			return Result{}, fmt.Errorf("eval: the paper does not compute the optimal for the throughput metric (combinatorial blow-up)")
 		}
-		z, _, err := mcf.OptimalUnderFailures(s.Graph, s.TM, s.Failures)
+		z, _, err := mcf.OptimalUnderFailuresContext(ctx, s.Graph, s.TM, s.Failures)
 		if err != nil {
 			return Result{}, err
 		}

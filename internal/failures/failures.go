@@ -109,12 +109,22 @@ func (s Scenario) Alive(p topology.Path) bool {
 // LinkAlive reports whether a single link survives.
 func (s Scenario) LinkAlive(l topology.LinkID) bool { return !s.Dead[l] }
 
-// String renders the scenario compactly.
+// String renders the scenario compactly, naming both the failed units
+// and the resulting dead links so error messages identify the exact
+// failure state.
 func (s Scenario) String() string {
-	if len(s.FailedUnits) == 0 {
+	if len(s.FailedUnits) == 0 && len(s.Dead) == 0 {
 		return "{no failure}"
 	}
-	return fmt.Sprintf("{units %v}", s.FailedUnits)
+	links := make([]int, 0, len(s.Dead))
+	for l := range s.Dead {
+		links = append(links, int(l))
+	}
+	sort.Ints(links)
+	if len(s.FailedUnits) == 0 {
+		return fmt.Sprintf("{dead links %v}", links)
+	}
+	return fmt.Sprintf("{units %v, dead links %v}", s.FailedUnits, links)
 }
 
 // scenario materializes the dead-link set for a unit combination.

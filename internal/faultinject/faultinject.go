@@ -1,0 +1,141 @@
+// Package faultinject provides deterministic, seeded fault injectors
+// for the solve→realize pipeline. The injectors plug into the
+// checkpoints exposed by internal/lp (Options.FaultHook) and
+// internal/routing (AutoOptions.Factor / AutoOptions.Iterate), so
+// tests can force numerical breakdowns, iteration exhaustion, and
+// singular reservation matrices at exact, reproducible points — and
+// prove that every rung of the degradation ladders fires and still
+// delivers a verified, congestion-free result.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pcf/internal/core"
+	"pcf/internal/failures"
+	"pcf/internal/linsolve"
+	"pcf/internal/lp"
+	"pcf/internal/topology"
+	"pcf/internal/traffic"
+	"pcf/internal/tunnels"
+)
+
+// KillPivotsAfter returns an lp fault hook that aborts the solve at
+// the first simplex iteration at or past n. The returned error wraps
+// lp.ErrIterLimit, so the failure follows the iteration-exhaustion
+// path through the degradation ladders.
+func KillPivotsAfter(n int) func(lp.FaultEvent) error {
+	return func(ev lp.FaultEvent) error {
+		if ev.Point == lp.FaultIteration && ev.Iter >= n {
+			return fmt.Errorf("faultinject: pivot killed at iteration %d: %w", ev.Iter, lp.ErrIterLimit)
+		}
+		return nil
+	}
+}
+
+// KillPivotsRandom is KillPivotsAfter with the kill point drawn
+// deterministically from seed in [1, maxIter].
+func KillPivotsRandom(seed int64, maxIter int) func(lp.FaultEvent) error {
+	n := 1 + rand.New(rand.NewSource(seed)).Intn(maxIter)
+	return KillPivotsAfter(n)
+}
+
+// FailRefactorAfter returns an lp fault hook that makes every basis
+// refactorization at or past iteration n report failure. The solver
+// first runs its own recovery (a tightened-refactorization retry);
+// when that also fails, the solve surfaces lp.ErrNumerical.
+func FailRefactorAfter(n int) func(lp.FaultEvent) error {
+	return func(ev lp.FaultEvent) error {
+		if ev.Point == lp.FaultRefactor && ev.Iter >= n {
+			return fmt.Errorf("faultinject: refactorization failed at iteration %d", ev.Iter)
+		}
+		return nil
+	}
+}
+
+// FailFirstNStarts returns a stateful lp fault hook that fails the
+// first n SolveWithOptions calls at their start checkpoint with an
+// error wrapping cause, then lets every later call through. With one
+// LP solve per ladder rung, FailFirstNStarts(k, lp.ErrNumerical)
+// makes exactly the first k rungs fail.
+func FailFirstNStarts(n int, cause error) func(lp.FaultEvent) error {
+	starts := 0
+	return func(ev lp.FaultEvent) error {
+		if ev.Point != lp.FaultSolveStart {
+			return nil
+		}
+		starts++
+		if starts <= n {
+			return fmt.Errorf("faultinject: solve start %d/%d failed: %w", starts, n, cause)
+		}
+		return nil
+	}
+}
+
+// SingularFactor is a routing.AutoOptions.Factor override that always
+// reports a singular matrix, forcing the direct rung to degrade.
+func SingularFactor(mat []float64, n int) (func([]float64) ([]float64, error), error) {
+	return nil, linsolve.ErrSingular
+}
+
+// DivergentIterate is a routing.AutoOptions.Iterate override that
+// always reports non-convergence, forcing the iterative rung to
+// degrade.
+func DivergentIterate(mat []float64, b []float64, n int) ([]float64, error) {
+	return nil, fmt.Errorf("faultinject: %w", linsolve.ErrNoConvergence)
+}
+
+// NearSingularPlan hand-builds a plan whose reservation matrix is
+// exactly singular under the no-failure scenario while passing the
+// positive-diagonal pre-check: the two diagonal pairs of a 4-cycle
+// carry mutually recursive logical sequences — (0,2) routed 0→1→3→2
+// uses (1,3) as a segment, and (1,3) routed 1→0→2→3 uses (0,2) — and,
+// being non-adjacent, have no tunnel reservation of their own. Their
+// two matrix rows are then scalar multiples of each other (rank
+// deficiency by construction). It exercises the linsolve.ErrSingular
+// path out of routing.Realize and the full realization ladder.
+func NearSingularPlan() (*core.Plan, failures.Scenario) {
+	g := topology.New("ring4")
+	for i := 0; i < 4; i++ {
+		g.AddNode("n")
+	}
+	g.AddLink(0, 1, 10)
+	g.AddLink(1, 2, 10)
+	g.AddLink(2, 3, 10)
+	g.AddLink(3, 0, 10)
+	ts := tunnels.NewSet(g)
+	for _, l := range g.Links() {
+		ts.MustAdd(topology.Pair{Src: l.A, Dst: l.B}, topology.Path{Arcs: []topology.ArcID{l.Forward()}})
+		ts.MustAdd(topology.Pair{Src: l.B, Dst: l.A}, topology.Path{Arcs: []topology.ArcID{l.Reverse()}})
+	}
+	p02 := topology.Pair{Src: 0, Dst: 2}
+	p13 := topology.Pair{Src: 1, Dst: 3}
+	in := &core.Instance{
+		Graph:   g,
+		TM:      traffic.Single(4, p02, 1),
+		Tunnels: ts,
+		LSs: []core.LogicalSequence{
+			{ID: 0, Pair: p02, Hops: []topology.NodeID{1, 3}},
+			{ID: 1, Pair: p13, Hops: []topology.NodeID{0, 2}},
+		},
+		Failures:  failures.SingleLinks(g, 1),
+		Objective: core.DemandScale,
+	}
+	plan := &core.Plan{
+		Scheme:    "faultinject-near-singular",
+		Z:         map[topology.Pair]float64{p02: 0.05},
+		TunnelRes: map[tunnels.ID]float64{},
+		LSRes:     map[core.LSID]float64{0: 0.1, 1: 0.1},
+		Instance:  in,
+	}
+	// Single-link tunnels keep the segment pairs' rows well
+	// conditioned; the LS pairs themselves get no tunnel reservation,
+	// which is what makes their two rows linearly dependent.
+	for _, pr := range ts.Pairs() {
+		for _, id := range ts.ForPair(pr) {
+			plan.TunnelRes[id] = 0.3
+		}
+	}
+	return plan, failures.Scenario{Dead: map[topology.LinkID]bool{}}
+}

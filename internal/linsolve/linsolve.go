@@ -18,6 +18,11 @@ import (
 // singular.
 var ErrSingular = errors.New("linsolve: singular matrix")
 
+// ErrNoConvergence is returned (wrapped, alongside a partial
+// IterResult) when an iterative solve exhausts its sweep budget before
+// reaching the residual target. Matched with errors.Is.
+var ErrNoConvergence = errors.New("linsolve: iteration did not converge")
+
 // LU is an LU factorization with partial pivoting of an n x n matrix.
 type LU struct {
 	n    int
@@ -178,7 +183,7 @@ func iterate(a, b []float64, n, maxIter int, tol float64, inPlace bool) (*IterRe
 	}
 	if res > tol {
 		return &IterResult{X: x, Iterations: it, Residual: res},
-			fmt.Errorf("linsolve: did not converge in %d iterations (residual %g)", maxIter, res)
+			fmt.Errorf("%w in %d iterations (residual %g)", ErrNoConvergence, maxIter, res)
 	}
 	return &IterResult{X: x, Iterations: it, Residual: res}, nil
 }

@@ -1,10 +1,16 @@
 package lp
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"math"
 )
+
+// ctxCheckPeriod is how many simplex iterations pass between context
+// cancellation checks. Iterations are O(nonzeros), so the atomic load
+// in Context.Err is negligible at this period while a wedged phase
+// still aborts within a few dozen pivots.
+const ctxCheckPeriod = 32
 
 // Options tune the simplex solver. The zero value selects defaults.
 type Options struct {
@@ -21,6 +27,24 @@ type Options struct {
 	// RefactorEvery forces a basis-inverse refactorization at this
 	// iteration period. Zero selects a default.
 	RefactorEvery int
+	// Context, when non-nil, bounds the solve: the iteration loop
+	// checks it periodically and aborts with a SolveError wrapping the
+	// context error (so errors.Is(err, context.DeadlineExceeded)
+	// matches) carrying partial diagnostics. Nil means no deadline.
+	Context context.Context
+	// FaultHook, when non-nil, is consulted at solver checkpoints for
+	// fault-injection testing (see internal/faultinject). A non-nil
+	// return aborts the solve (or fails the refactorization, for
+	// FaultRefactor events) with the returned error in the chain.
+	FaultHook func(FaultEvent) error
+}
+
+// ctxErr reports the context's cancellation error, nil without one.
+func (o Options) ctxErr() error {
+	if o.Context == nil {
+		return nil
+	}
+	return o.Context.Err()
 }
 
 func (o Options) withDefaults(m, n int) Options {
@@ -74,8 +98,6 @@ type standardForm struct {
 	nModel   int       // number of model variables
 	objConst float64   // constant objective offset in standard form
 }
-
-var errNumerical = errors.New("lp: numerical failure, basis refactorization did not recover")
 
 // toStandard converts the model to min c'x, Ax=b, x>=0, b>=0.
 func toStandard(mod *Model) *standardForm {
@@ -245,6 +267,15 @@ type simplexState struct {
 	nArt  int
 	inB   []bool // whether std column j is basic
 	iter  int
+	// Diagnostics for SolveError: the phase currently running and the
+	// last phase objective observed.
+	phase   int
+	lastObj float64
+}
+
+// abortErr wraps a cause with the state's partial diagnostics.
+func (st *simplexState) abortErr(cause error) error {
+	return &SolveError{Iterations: st.iter, Phase: st.phase, LastObjective: st.lastObj, Err: cause}
 }
 
 func newSimplexState(sf *standardForm, opts Options) *simplexState {
@@ -323,8 +354,13 @@ func (st *simplexState) btran(costB, y []float64) {
 
 // refactor recomputes binv from the current basis by Gauss-Jordan with
 // partial pivoting, and recomputes xB. Returns false if the basis
-// matrix is singular.
+// matrix is singular (or a fault hook injected a failure).
 func (st *simplexState) refactor() bool {
+	if h := st.opts.FaultHook; h != nil {
+		if h(FaultEvent{Point: FaultRefactor, Iter: st.iter, Rows: st.sf.nRows, Cols: st.sf.nCols}) != nil {
+			return false
+		}
+	}
 	m := st.m
 	// Build dense basis matrix a (m x m) augmented with identity.
 	a := make([]float64, m*m)
@@ -441,11 +477,27 @@ func (st *simplexState) runPhase(cost []float64, phase1 bool) (Status, error) {
 	noImprove := 0
 	lastObj := math.Inf(1)
 	sinceRefactor := 0
+	if phase1 {
+		st.phase = 1
+	} else {
+		st.phase = 2
+	}
+	st.lastObj = lastObj
 
 	for ; st.iter < st.opts.MaxIter; st.iter++ {
+		if st.iter%ctxCheckPeriod == 0 {
+			if err := st.opts.ctxErr(); err != nil {
+				return StatusIterLimit, err
+			}
+		}
+		if h := st.opts.FaultHook; h != nil {
+			if err := h(FaultEvent{Point: FaultIteration, Iter: st.iter, Rows: sf.nRows, Cols: sf.nCols}); err != nil {
+				return StatusIterLimit, err
+			}
+		}
 		if sinceRefactor >= st.opts.RefactorEvery {
 			if !st.refactor() {
-				return StatusIterLimit, errNumerical
+				return StatusIterLimit, ErrNumerical
 			}
 			sinceRefactor = 0
 		}
@@ -519,14 +571,14 @@ func (st *simplexState) runPhase(cost []float64, phase1 bool) (Status, error) {
 			// trusting it.
 			if sinceRefactor > 1 {
 				if !st.refactor() {
-					return StatusIterLimit, errNumerical
+					return StatusIterLimit, ErrNumerical
 				}
 				sinceRefactor = 1
 				continue
 			}
 			if phase1 {
 				// Should not happen: phase-1 objective bounded below by 0.
-				return StatusIterLimit, errNumerical
+				return StatusIterLimit, ErrNumerical
 			}
 			return StatusUnbounded, nil
 		}
@@ -563,7 +615,7 @@ func (st *simplexState) runPhase(cost []float64, phase1 bool) (Status, error) {
 			}
 		}
 		if leave < 0 {
-			return StatusIterLimit, errNumerical
+			return StatusIterLimit, ErrNumerical
 		}
 		st.pivot(enter, leave, d)
 
@@ -577,6 +629,7 @@ func (st *simplexState) runPhase(cost []float64, phase1 bool) (Status, error) {
 		} else {
 			noImprove++
 		}
+		st.lastObj = lastObj
 	}
 	return StatusIterLimit, nil
 }
@@ -614,11 +667,25 @@ func (st *simplexState) driveOutArtificials() {
 	}
 }
 
-// SolveWithOptions optimizes the model.
+// SolveWithOptions optimizes the model. Non-optimal but well-defined
+// outcomes (infeasible, unbounded, iteration limit) are reported via
+// Solution.Status with a nil error; use Solution.Err to convert them to
+// typed sentinels. A non-nil error means the solve itself broke down —
+// numerically (wrapping ErrNumerical), by cancellation (wrapping the
+// context error), or by fault injection — and is always a *SolveError
+// carrying partial diagnostics.
 func SolveWithOptions(mod *Model, opts Options) (*Solution, error) {
 	sf := toStandard(mod)
 	opts = opts.withDefaults(sf.nRows, sf.nCols)
 	st := newSimplexState(sf, opts)
+	if err := opts.ctxErr(); err != nil {
+		return nil, st.abortErr(err)
+	}
+	if h := opts.FaultHook; h != nil {
+		if err := h(FaultEvent{Point: FaultSolveStart, Rows: sf.nRows, Cols: sf.nCols}); err != nil {
+			return nil, st.abortErr(err)
+		}
+	}
 
 	solveOnce := func() (*Solution, error) {
 		// Phase 1.
@@ -655,14 +722,14 @@ func SolveWithOptions(mod *Model, opts Options) (*Solution, error) {
 	}
 
 	sol, err := solveOnce()
-	if errors.Is(err, errNumerical) {
+	if errors.Is(err, ErrNumerical) && opts.ctxErr() == nil {
 		// One full retry with tighter refactorization.
 		opts.RefactorEvery = 50
 		st = newSimplexState(sf, opts)
 		sol, err = solveOnce()
 	}
 	if err != nil {
-		return nil, fmt.Errorf("lp: solve failed: %w", err)
+		return nil, st.abortErr(err)
 	}
 	return sol, nil
 }

@@ -12,6 +12,7 @@
 package mcf
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -33,16 +34,23 @@ type Result struct {
 // demand can be routed simultaneously within arc capacities, with the
 // links in dead removed. Pairs whose demand is zero are ignored.
 func MaxConcurrentFlow(g *topology.Graph, tm *traffic.Matrix, dead map[topology.LinkID]bool) (*Result, error) {
-	return solveFlow(g, tm, dead, true)
+	return solveFlow(nil, g, tm, dead, true)
+}
+
+// MaxConcurrentFlowContext is MaxConcurrentFlow bounded by a context:
+// the simplex solve aborts promptly on deadline or cancellation, and
+// the error wraps the context error.
+func MaxConcurrentFlowContext(ctx context.Context, g *topology.Graph, tm *traffic.Matrix, dead map[topology.LinkID]bool) (*Result, error) {
+	return solveFlow(ctx, g, tm, dead, true)
 }
 
 // MaxThroughput computes the maximum total bandwidth Σ bw_st with
 // bw_st <= d_st that can be routed within capacities.
 func MaxThroughput(g *topology.Graph, tm *traffic.Matrix, dead map[topology.LinkID]bool) (*Result, error) {
-	return solveFlow(g, tm, dead, false)
+	return solveFlow(nil, g, tm, dead, false)
 }
 
-func solveFlow(g *topology.Graph, tm *traffic.Matrix, dead map[topology.LinkID]bool, concurrent bool) (*Result, error) {
+func solveFlow(ctx context.Context, g *topology.Graph, tm *traffic.Matrix, dead map[topology.LinkID]bool, concurrent bool) (*Result, error) {
 	if tm.N() != g.NumNodes() {
 		return nil, fmt.Errorf("mcf: matrix is %dx%d but graph has %d nodes", tm.N(), tm.N(), g.NumNodes())
 	}
@@ -158,9 +166,9 @@ func solveFlow(g *topology.Graph, tm *traffic.Matrix, dead map[topology.LinkID]b
 	}
 	m.SetObjective(obj, lp.Maximize)
 
-	sol, err := lp.Solve(m)
+	sol, err := lp.SolveWithOptions(m, lp.Options{Context: ctx})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("mcf: %w", err)
 	}
 	switch sol.Status {
 	case lp.StatusOptimal:
@@ -171,7 +179,7 @@ func solveFlow(g *topology.Graph, tm *traffic.Matrix, dead map[topology.LinkID]b
 	case lp.StatusUnbounded:
 		return &Result{Objective: math.Inf(1), FlowTo: map[topology.NodeID][]float64{}}, nil
 	default:
-		return nil, fmt.Errorf("mcf: solver returned %v", sol.Status)
+		return nil, fmt.Errorf("mcf: %w", sol.Err())
 	}
 	res := &Result{Objective: sol.Objective, FlowTo: make(map[topology.NodeID][]float64, len(dsts))}
 	for _, t := range dsts {
@@ -204,13 +212,26 @@ func MinMLU(g *topology.Graph, tm *traffic.Matrix) (float64, error) {
 // optimal per-scenario concurrent flow. It also returns the worst
 // scenario.
 func OptimalUnderFailures(g *topology.Graph, tm *traffic.Matrix, fs *failures.Set) (float64, failures.Scenario, error) {
+	return OptimalUnderFailuresContext(nil, g, tm, fs)
+}
+
+// OptimalUnderFailuresContext is OptimalUnderFailures bounded by a
+// context: the deadline is checked before every scenario's solve and
+// inside each solve's simplex loop. A nil ctx means no bound.
+func OptimalUnderFailuresContext(ctx context.Context, g *topology.Graph, tm *traffic.Matrix, fs *failures.Set) (float64, failures.Scenario, error) {
 	worst := math.Inf(1)
 	var worstSc failures.Scenario
 	var solveErr error
 	fs.Enumerate(func(sc failures.Scenario) bool {
-		res, err := MaxConcurrentFlow(g, tm, sc.Dead)
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				solveErr = fmt.Errorf("mcf: scenario enumeration canceled at %v: %w", sc, err)
+				return false
+			}
+		}
+		res, err := solveFlow(ctx, g, tm, sc.Dead, true)
 		if err != nil {
-			solveErr = err
+			solveErr = fmt.Errorf("mcf: scenario %v: %w", sc, err)
 			return false
 		}
 		if res.Objective < worst {

@@ -1,0 +1,114 @@
+package routing
+
+import (
+	"errors"
+	"fmt"
+
+	"pcf/internal/core"
+	"pcf/internal/failures"
+	"pcf/internal/linsolve"
+)
+
+// Realization rung names reported by RealizeAuto.
+const (
+	RungDirect       = "direct"
+	RungIterative    = "iterative"
+	RungProportional = "proportional"
+)
+
+// AutoOptions tune RealizeAuto's degradation ladder.
+type AutoOptions struct {
+	// MaxSweeps bounds the iterative rung's Jacobi sweeps (default
+	// 20000).
+	MaxSweeps int
+	// Tol is the iterative rung's residual target (default 1e-9).
+	Tol float64
+	// Factor, when non-nil, replaces the direct rung's LU
+	// factorization. It exists for fault injection: tests substitute a
+	// factory that fails to prove the ladder drops to the next rung.
+	Factor func(mat []float64, n int) (func(b []float64) ([]float64, error), error)
+	// Iterate, when non-nil, replaces the iterative rung's Jacobi
+	// engine the same way.
+	Iterate func(mat []float64, b []float64, n int) ([]float64, error)
+}
+
+func (o AutoOptions) withDefaults() AutoOptions {
+	if o.MaxSweeps == 0 {
+		o.MaxSweeps = 20000
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-9
+	}
+	return o
+}
+
+// realizeDegradable reports whether a rung failure is the kind the
+// next rung might survive: a singular (or near-singular) reservation
+// matrix, or an iterative solve that ran out of sweeps. Anything else
+// — oversubscription, a pair with no live reservation, a failed
+// congestion-freedom check — indicts the plan or scenario itself, and
+// retrying with a different engine would only mask it.
+func realizeDegradable(err error) bool {
+	return errors.Is(err, ErrSingularMatrix) ||
+		errors.Is(err, linsolve.ErrSingular) ||
+		errors.Is(err, linsolve.ErrNoConvergence)
+}
+
+// RealizeAuto realizes a scenario through the degradation ladder of
+// §4: the direct linear-system solve, then the distributed Jacobi
+// iteration, then the local proportional router. A rung is abandoned
+// only on a singular matrix or non-convergence; every candidate
+// realization is re-verified with CheckRealization before it is
+// returned, so a downgrade can never deliver less than the plan's
+// proved admitted fraction without reporting an error. The returned
+// string names the rung that served the realization.
+func RealizeAuto(plan *core.Plan, sc failures.Scenario, opts AutoOptions) (*Realization, string, error) {
+	opts = opts.withDefaults()
+
+	direct := luFactory
+	if opts.Factor != nil {
+		direct = func(mat []float64, n int) (matrixSolver, error) {
+			s, err := opts.Factor(mat, n)
+			if err != nil {
+				return nil, err
+			}
+			return s, nil
+		}
+	}
+	iterative := jacobiFactory(opts.MaxSweeps, opts.Tol)
+	if opts.Iterate != nil {
+		iterative = func(mat []float64, n int) (matrixSolver, error) {
+			return func(b []float64) ([]float64, error) {
+				return opts.Iterate(mat, b, n)
+			}, nil
+		}
+	}
+
+	rungs := []struct {
+		name string
+		run  func() (*Realization, error)
+	}{
+		{RungDirect, func() (*Realization, error) { return realizeLinear(plan, sc, direct) }},
+		{RungIterative, func() (*Realization, error) { return realizeLinear(plan, sc, iterative) }},
+		{RungProportional, func() (*Realization, error) { return RealizeProportional(plan, sc) }},
+	}
+
+	var firstErr error
+	for i, r := range rungs {
+		res, err := r.run()
+		if err == nil {
+			if cerr := CheckRealization(plan, res); cerr != nil {
+				return nil, r.name, fmt.Errorf("routing: %s realization failed verification: %w", r.name, cerr)
+			}
+			return res, r.name, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !realizeDegradable(err) || i == len(rungs)-1 {
+			return nil, r.name, fmt.Errorf("routing: %s realization: %w", r.name, err)
+		}
+	}
+	// Unreachable: the loop always returns from its last iteration.
+	return nil, "", firstErr
+}

@@ -10,6 +10,7 @@
 package routing
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -154,9 +155,50 @@ type Realization struct {
 	ArcLoad []float64
 }
 
+// ErrSingularMatrix reports that the reservation matrix M could not be
+// factorized for a scenario. Errors from Realize wrap it (together with
+// the underlying linsolve.ErrSingular), so callers can fall back to the
+// iterative or proportional realization with errors.Is.
+var ErrSingularMatrix = errors.New("routing: reservation matrix singular")
+
+// matrixSolver solves M·x = b for one right-hand side; a solverFactory
+// prepares it from the reservation matrix (e.g. by LU factorization).
+type matrixSolver func(b []float64) ([]float64, error)
+type solverFactory func(mat []float64, n int) (matrixSolver, error)
+
+// luFactory is the direct §4.1 engine: one shared LU factorization.
+func luFactory(mat []float64, n int) (matrixSolver, error) {
+	lu, err := linsolve.Factor(mat, n)
+	if err != nil {
+		return nil, err
+	}
+	return lu.Solve, nil
+}
+
+// jacobiFactory is the distributed §4.3 engine: every right-hand side
+// is solved by Jacobi sweeps.
+func jacobiFactory(maxSweeps int, tol float64) solverFactory {
+	return func(mat []float64, n int) (matrixSolver, error) {
+		return func(b []float64) ([]float64, error) {
+			res, err := linsolve.Jacobi(mat, b, n, maxSweeps, tol)
+			if err != nil {
+				return nil, err
+			}
+			return res.X, nil
+		}, nil
+	}
+}
+
 // Realize computes the routing for a scenario by solving the linear
 // systems of §4.1 with a shared LU factorization of M.
 func Realize(plan *core.Plan, sc failures.Scenario) (*Realization, error) {
+	return realizeLinear(plan, sc, luFactory)
+}
+
+// realizeLinear is the common linear-system realization: it builds the
+// reservation matrix over the pairs of interest and obtains the
+// aggregate and per-destination utilizations from the supplied solver.
+func realizeLinear(plan *core.Plan, sc failures.Scenario, factory solverFactory) (*Realization, error) {
 	st := newState(plan, sc)
 	n := len(st.pairs)
 	in := plan.Instance
@@ -175,13 +217,13 @@ func Realize(plan *core.Plan, sc failures.Scenario) (*Realization, error) {
 			return nil, fmt.Errorf("routing: pair %v of interest has no live reservation under %v", p, sc)
 		}
 	}
-	lu, err := linsolve.Factor(mat, n)
+	solve, err := factory(mat, n)
 	if err != nil {
-		return nil, fmt.Errorf("routing: reservation matrix singular under %v: %w", sc, err)
+		return nil, fmt.Errorf("%w under %v: %w", ErrSingularMatrix, sc, err)
 	}
-	u, err := lu.Solve(st.demandVec())
+	u, err := solve(st.demandVec())
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("routing: aggregate system under %v: %w", sc, err)
 	}
 	res.U = u
 	for i := range u {
@@ -208,9 +250,9 @@ func Realize(plan *core.Plan, sc failures.Scenario) (*Realization, error) {
 				dt[i] = plan.ScaledDemand(p)
 			}
 		}
-		ut, err := lu.Solve(dt)
+		ut, err := solve(dt)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("routing: destination %d system under %v: %w", dst, sc, err)
 		}
 		flows := map[tunnels.ID]float64{}
 		for i, p := range st.pairs {
@@ -277,7 +319,7 @@ func RealizeProportional(plan *core.Plan, sc failures.Scenario) (*Realization, e
 	}
 	order, err := core.TopologicalPairOrder(activeLSs, universe)
 	if err != nil {
-		return nil, fmt.Errorf("routing: %w", err)
+		return nil, fmt.Errorf("routing: under scenario %v: %w", sc, err)
 	}
 
 	// Per-destination demand propagated down the topological order.
@@ -355,8 +397,9 @@ func CheckRealization(plan *core.Plan, r *Realization) error {
 	g := in.Graph
 	for a := 0; a < g.NumArcs(); a++ {
 		if r.ArcLoad[a] > g.ArcCapacity(topology.ArcID(a))+1e-6 {
-			return fmt.Errorf("routing: arc %d overloaded: %g > %g under %v",
-				a, r.ArcLoad[a], g.ArcCapacity(topology.ArcID(a)), r.Scenario)
+			return fmt.Errorf("routing: arc %d (link %d) overloaded: %g > %g under scenario %v",
+				a, topology.LinkOf(topology.ArcID(a)), r.ArcLoad[a],
+				g.ArcCapacity(topology.ArcID(a)), r.Scenario)
 		}
 	}
 	for dst, flows := range r.TunnelTo {
@@ -584,11 +627,11 @@ func RealizeIterative(plan *core.Plan, sc failures.Scenario, maxSweeps int, tol 
 	}
 	res, err := linsolve.Jacobi(mat, st.demandVec(), n, maxSweeps, tol)
 	if err != nil {
-		return nil, nil, fmt.Errorf("routing: distributed iteration: %w", err)
+		return nil, nil, fmt.Errorf("routing: distributed iteration under %v: %w", sc, err)
 	}
 	for i, u := range res.X {
 		if u < -1e-6 || u > 1+1e-6 {
-			return nil, nil, fmt.Errorf("routing: iterative U[%v] = %g outside [0,1]", st.pairs[i], u)
+			return nil, nil, fmt.Errorf("routing: iterative U[%v] = %g outside [0,1] under %v", st.pairs[i], u, sc)
 		}
 	}
 	return st.pairs, res.X, nil

@@ -555,3 +555,39 @@ func TestRealizeIterativeMatchesDirect(t *testing.T) {
 		return true
 	})
 }
+
+// TestRealizeIterativeMatchesDirectFig1 is the double-failure
+// regression: on the Fig-1 gadget protected against |f| <= 2, the
+// distributed Jacobi realization must agree with the direct
+// linear-system solve on every scenario of the designed failure set.
+func TestRealizeIterativeMatchesDirectFig1(t *testing.T) {
+	plan := fig1Plan(t, 2)
+	scenarios := 0
+	plan.Instance.Failures.Enumerate(func(sc failures.Scenario) bool {
+		scenarios++
+		direct, err := Realize(plan, sc)
+		if err != nil {
+			t.Fatalf("direct under %v: %v", sc, err)
+		}
+		pairs, u, err := RealizeIterative(plan, sc, 20000, 1e-10)
+		if err != nil {
+			t.Fatalf("iterative under %v: %v", sc, err)
+		}
+		if len(pairs) != len(direct.Pairs) {
+			t.Fatalf("pair count %d vs %d under %v", len(pairs), len(direct.Pairs), sc)
+		}
+		for i := range u {
+			if pairs[i] != direct.Pairs[i] {
+				t.Fatalf("pair order diverged under %v: %v vs %v", sc, pairs[i], direct.Pairs[i])
+			}
+			if math.Abs(u[i]-direct.U[i]) > 1e-6 {
+				t.Fatalf("pair %v: iterative %g vs direct %g under %v",
+					pairs[i], u[i], direct.U[i], sc)
+			}
+		}
+		return true
+	})
+	if scenarios < 2 {
+		t.Fatalf("enumerated only %d scenarios; the |f|<=2 set should be larger", scenarios)
+	}
+}

@@ -627,6 +627,13 @@ func ReadLinks(r io.Reader, name string) (*Graph, error) {
 		if a < 0 || b < 0 {
 			return nil, fmt.Errorf("topology: line %d: negative node id", lineNo)
 		}
+		if a == b {
+			return nil, fmt.Errorf("topology: line %d: self loop at node %d", lineNo, a)
+		}
+		const maxNodeID = 1 << 20
+		if a > maxNodeID || b > maxNodeID {
+			return nil, fmt.Errorf("topology: line %d: node id exceeds %d", lineNo, maxNodeID)
+		}
 		if capacity <= 0 {
 			return nil, fmt.Errorf("topology: line %d: capacity must be positive", lineNo)
 		}
