@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+// CtxLoop guards the cancellation discipline PR 1 introduced: the
+// solver packages promise that a wedged solve aborts within a bounded
+// number of pivots/rounds once its context is cancelled. Any loop in
+// internal/lp, internal/core or internal/mcf that is not syntactically
+// bounded (plain `for {}` / `for cond {}`) and calls into the
+// solve/pivot/cut machinery must therefore either consult the context
+// (ctx.Err(), the Options.ctxErr helpers, a select on ctx.Done()) or
+// break on an explicit iteration budget. Bounded three-clause loops
+// and range loops are exempt: their trip count is capped by
+// construction.
+var CtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc:  "unbounded solve loops in lp/core/mcf must check their context or an iteration budget",
+	Match: func(pkgPath string) bool {
+		return pathHasSuffix(pkgPath, "internal/lp") ||
+			pathHasSuffix(pkgPath, "internal/core") ||
+			pathHasSuffix(pkgPath, "internal/mcf")
+	},
+	Run: runCtxLoop,
+}
+
+// solveCallRe matches the names of functions whose repeated invocation
+// dominates solve time: the entry points (Solve*, Realize*), the
+// simplex internals (pivot, runPhase, refactor) and the cutting-plane
+// machinery (cuts, separation, polytope minimization).
+var solveCallRe = regexp.MustCompile(`(?i)(solve|pivot|realize|refactor|runphase|minimize|separat|cut)`)
+
+// budgetNameRe matches identifiers that look like iteration budgets.
+var budgetNameRe = regexp.MustCompile(`(?i)(max|limit|budget|iter|round|sweep|deadline|remain)`)
+
+func runCtxLoop(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			// Three-clause loops are bounded by their condition.
+			if loop.Cond != nil && (loop.Init != nil || loop.Post != nil) {
+				return true
+			}
+			if !callsSolveMachinery(loop.Body) {
+				return true
+			}
+			if hasCtxCheck(pass, loop.Body) || hasBudgetBreak(loop.Body) {
+				return true
+			}
+			pass.Reportf(loop.For, "unbounded loop calls solve machinery without a ctx.Err()/select check or iteration budget")
+			return true
+		})
+	}
+}
+
+// callsSolveMachinery reports whether the loop body (excluding nested
+// function literals, which need not run once per iteration) calls a
+// function whose name marks it as solver work.
+func callsSolveMachinery(body *ast.BlockStmt) bool {
+	found := false
+	inspectSkippingFuncLits(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if solveCallRe.MatchString(calleeName(call)) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasCtxCheck reports whether the body consults a context: a select
+// statement, a call to Err/Done on a context.Context value, or a call
+// to a helper named ctxErr (the Options convention in this repo).
+func hasCtxCheck(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	inspectSkippingFuncLits(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.CallExpr:
+			if calleeName(n) == "ctxErr" {
+				found = true
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && (sel.Sel.Name == "Err" || sel.Sel.Name == "Done") {
+				if t := pass.TypeOf(sel.X); t != nil && isContextType(t) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasBudgetBreak reports whether the body contains an if statement
+// whose condition mentions a budget-like identifier and whose branch
+// exits the loop (break or return) — the "bounded iteration counter"
+// escape hatch.
+func hasBudgetBreak(body *ast.BlockStmt) bool {
+	found := false
+	inspectSkippingFuncLits(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if !mentionsBudgetIdent(ifs.Cond) {
+			return true
+		}
+		exits := false
+		ast.Inspect(ifs.Body, func(m ast.Node) bool {
+			switch b := m.(type) {
+			case *ast.BranchStmt:
+				if b.Tok == token.BREAK {
+					exits = true
+				}
+			case *ast.ReturnStmt:
+				exits = true
+			case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt, *ast.SelectStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+				return false // break there would not exit this loop
+			}
+			return !exits
+		})
+		if exits {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func mentionsBudgetIdent(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && budgetNameRe.MatchString(id.Name) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// inspectSkippingFuncLits is ast.Inspect that does not descend into
+// function literals.
+func inspectSkippingFuncLits(root ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		return fn(n)
+	})
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the expectation from a `// want "regex"` trailing
+// comment in a testdata source file.
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+// runGolden loads the named directories from testdata/src in
+// bare-directory mode, runs exactly one analyzer, and matches the
+// resulting diagnostics bidirectionally against `// want` comments:
+// every diagnostic must land on a line with a matching want, and every
+// want must be hit by a diagnostic. Diagnostics from the "directive"
+// pseudo-analyzer (malformed suppressions) are returned to the caller
+// instead of matched, since a malformed-directive line cannot also
+// carry a want comment.
+func runGolden(t *testing.T, a *Analyzer, dirs ...string) []Diagnostic {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &Loader{Dir: root}
+	pkgs, err := l.Load(dirs)
+	if err != nil {
+		t.Fatalf("load %v: %v", dirs, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("load %v: no packages", dirs)
+	}
+	diags := Run(pkgs, []*Analyzer{a})
+
+	type key struct {
+		file string
+		line int
+	}
+	type want struct {
+		re  *regexp.Regexp
+		hit bool
+	}
+	wants := map[key][]*want{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], &want{re: re})
+				}
+			}
+		}
+	}
+
+	var directives []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == "directive" {
+			directives = append(directives, d)
+			continue
+		}
+		matched := false
+		for _, w := range wants[key{d.File, d.Line}] {
+			if !w.hit && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.hit {
+				t.Errorf("%s:%d: want diagnostic matching %q, got none", k.file, k.line, w.re)
+			}
+		}
+	}
+	return directives
+}
+
+func TestFloatCmpGolden(t *testing.T)    { runGolden(t, FloatCmp, "floatcmp") }
+func TestCtxLoopGolden(t *testing.T)     { runGolden(t, CtxLoop, "internal/lp") }
+func TestCheckedErrGolden(t *testing.T)  { runGolden(t, CheckedErr, "checkederr") }
+func TestNoPanicGolden(t *testing.T)     { runGolden(t, NoPanic, "internal/quiet") }
+func TestMutAfterPubGolden(t *testing.T) { runGolden(t, MutAfterPub, "mutafterpub") }
+
+// TestSuppression checks the directive machinery end to end: right-
+// analyzer directives on the same line or the line above suppress,
+// wrong-analyzer directives do not, and a directive without a reason
+// is itself reported as malformed.
+func TestSuppression(t *testing.T) {
+	directives := runGolden(t, FloatCmp, "suppress")
+	if len(directives) != 1 {
+		t.Fatalf("got %d directive diagnostics, want 1: %v", len(directives), directives)
+	}
+	d := directives[0]
+	if !strings.Contains(d.Message, "malformed suppression") {
+		t.Errorf("directive diagnostic message = %q, want malformed suppression", d.Message)
+	}
+	if filepath.Base(d.File) != "suppress.go" {
+		t.Errorf("directive diagnostic in %s, want suppress.go", d.File)
+	}
+}
+
+// TestAnalyzerScoping checks that Match keeps analyzers out of
+// packages they do not apply to: ctxloop and nopanic are inert outside
+// their internal/ scopes even when violations are present.
+func TestAnalyzerScoping(t *testing.T) {
+	if CtxLoop.Match("internal/lp") != true || CtxLoop.Match("pcf/internal/lp") != true {
+		t.Error("ctxloop should match internal/lp in both path styles")
+	}
+	if CtxLoop.Match("internal/topology") {
+		t.Error("ctxloop should not match internal/topology")
+	}
+	if NoPanic.Match("cmd/pcflint") {
+		t.Error("nopanic should not match cmd/ packages")
+	}
+	if !NoPanic.Match("pcf/internal/lp") || !NoPanic.Match("internal/lp") {
+		t.Error("nopanic should match internal packages in both path styles")
+	}
+}
+
+// TestByName exercises analyzer selection.
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v", len(all), err)
+	}
+	two, err := ByName("floatcmp, nopanic")
+	if err != nil || len(two) != 2 || two[0].Name != "floatcmp" || two[1].Name != "nopanic" {
+		t.Fatalf("ByName(floatcmp, nopanic) = %v, err %v", two, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) should fail")
+	}
+}

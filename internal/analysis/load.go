@@ -1,0 +1,301 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path relative to the loader root: the module
+	// path plus the directory for real modules, the bare directory for
+	// golden-test trees.
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader discovers, parses and type-checks the packages of a module
+// (or of a bare directory tree, for golden tests) without any
+// dependency beyond the standard library. Standard-library imports are
+// type-checked from GOROOT source via go/importer's source compiler;
+// module-internal imports are resolved recursively.
+type Loader struct {
+	// Dir is the root directory (module root, or a testdata src tree).
+	Dir string
+	// ModulePath is the module path from go.mod; empty means import
+	// paths equal directories relative to Dir (golden-test mode).
+	ModulePath string
+	// IncludeTests adds in-package _test.go files to each package.
+	// External (package foo_test) test files are never loaded.
+	IncludeTests bool
+
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*Package // by directory-relative import path
+	loading map[string]bool
+}
+
+func (l *Loader) init() {
+	if l.fset == nil {
+		l.fset = token.NewFileSet()
+		l.std = importer.ForCompiler(l.fset, "source", nil)
+		l.pkgs = map[string]*Package{}
+		l.loading = map[string]bool{}
+	}
+}
+
+// skipDir names directories never scanned for packages.
+func skipDir(name string) bool {
+	return name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// Load type-checks the packages selected by patterns. Supported
+// patterns are "./..." (everything), "./dir/..." (a subtree) and plain
+// directories. The returned slice is sorted by import path.
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	l.init()
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// expand resolves the patterns to root-relative package directories.
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(rel string) {
+		rel = filepath.ToSlash(rel)
+		if rel == "" {
+			rel = "."
+		}
+		if !seen[rel] {
+			seen[rel] = true
+			dirs = append(dirs, rel)
+		}
+	}
+	walk := func(sub string) error {
+		root := filepath.Join(l.Dir, sub)
+		return filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				rel, err := filepath.Rel(l.Dir, path)
+				if err != nil {
+					return err
+				}
+				add(rel)
+			}
+			return nil
+		})
+	}
+	for _, p := range patterns {
+		switch {
+		case p == "./..." || p == "...":
+			if err := walk("."); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(p, "/..."):
+			if err := walk(strings.TrimSuffix(strings.TrimPrefix(p, "./"), "/...")); err != nil {
+				return nil, err
+			}
+		default:
+			rel := strings.TrimPrefix(filepath.ToSlash(filepath.Clean(p)), "./")
+			if !hasGoFiles(filepath.Join(l.Dir, rel)) {
+				return nil, fmt.Errorf("pcflint: no Go files in %s", p)
+			}
+			add(rel)
+		}
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathFor maps a root-relative directory to its import path.
+func (l *Loader) importPathFor(relDir string) string {
+	if l.ModulePath == "" {
+		return relDir
+	}
+	if relDir == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + relDir
+}
+
+// relDirFor maps an import path back to a root-relative directory, or
+// "" if the path is not module-internal.
+func (l *Loader) relDirFor(importPath string) string {
+	if l.ModulePath == "" {
+		if hasGoFiles(filepath.Join(l.Dir, filepath.FromSlash(importPath))) {
+			return importPath
+		}
+		return ""
+	}
+	if importPath == l.ModulePath {
+		return "."
+	}
+	if rest, ok := strings.CutPrefix(importPath, l.ModulePath+"/"); ok {
+		return rest
+	}
+	return ""
+}
+
+// Import implements types.Importer: internal packages load recursively,
+// anything else is delegated to the GOROOT source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if rel := l.relDirFor(path); rel != "" || (l.ModulePath != "" && path == l.ModulePath) {
+		pkg, err := l.loadDir(rel)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// loadDir parses and type-checks the package in the root-relative
+// directory, memoized. Returns nil for directories without non-test Go
+// files.
+func (l *Loader) loadDir(relDir string) (*Package, error) {
+	l.init()
+	path := l.importPathFor(relDir)
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("pcflint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.Dir, filepath.FromSlash(relDir))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var pkgName string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		if isTest && !l.IncludeTests {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if !isTest {
+			if pkgName == "" {
+				pkgName = f.Name.Name
+			}
+		} else if pkgName != "" && f.Name.Name != pkgName {
+			continue // external test package
+		}
+		files = append(files, f)
+	}
+	if pkgName == "" {
+		return nil, fmt.Errorf("pcflint: no non-test Go files in %s", dir)
+	}
+	// A second pass may have admitted an external-test file before the
+	// package name was known; drop any stragglers.
+	kept := files[:0]
+	for _, f := range files {
+		if f.Name.Name == pkgName {
+			kept = append(kept, f)
+		}
+	}
+	files = kept
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("pcflint: typecheck %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest go.mod and returns
+// the directory and the module path declared in it.
+func FindModuleRoot(dir string) (root, modulePath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("pcflint: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("pcflint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

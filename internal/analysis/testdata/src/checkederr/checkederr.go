@@ -1,0 +1,40 @@
+// Package checkederr exercises the checkederr analyzer: errors from
+// Solve*/Realize*/CheckRealization must be handled, never dropped.
+package checkederr
+
+type result struct{ ok bool }
+
+func SolveMain() error                { return nil }
+func RealizePlan() (result, error)    { return result{}, nil }
+func CheckRealization(r result) error { return nil }
+
+// resolveHelper is not protected: lowercase "solve" inside the name
+// only counts for functions defined in an internal/lp package.
+func resolveHelper() error { return nil }
+
+var (
+	keep error
+	got  result
+)
+
+func drops() {
+	SolveMain()               // want "error from SolveMain is discarded"
+	go SolveMain()            // want "discarded by go statement"
+	defer SolveMain()         // want "discarded by defer"
+	_ = SolveMain()           // want "error from SolveMain assigned to _"
+	got, _ = RealizePlan()    // want "error from RealizePlan assigned to _"
+	_ = CheckRealization(got) // want "error from CheckRealization assigned to _"
+	resolveHelper()           // unprotected callee: allowed
+}
+
+func handles() {
+	keep = SolveMain()
+	r, err := RealizePlan()
+	if err != nil {
+		keep = err
+	}
+	got = r
+	if err := CheckRealization(got); err != nil {
+		keep = err
+	}
+}

@@ -1,0 +1,19 @@
+// Package core defines the published Plan type for the mutafterpub
+// golden test; its shape mirrors the real core.Plan.
+package core
+
+// Plan carries a proved guarantee once published by a solver.
+type Plan struct {
+	Scheme    string
+	Z         map[int]float64
+	TunnelRes map[int]float64
+	Score     float64
+}
+
+// Normalize mutates in place; the defining package is free to do so.
+func (p *Plan) Normalize() {
+	p.Score = 0
+	for k := range p.Z {
+		p.Z[k] = 0
+	}
+}

@@ -1,0 +1,26 @@
+// Package floatcmp exercises the floatcmp analyzer: exact comparisons
+// between computed floats are flagged; zero tests, infinity tests, int
+// comparisons and tolerance helpers are not.
+package floatcmp
+
+import "math"
+
+var sink bool
+
+func compare(a, b float64, i, j int) {
+	sink = a == b                   // want "floating-point == comparison"
+	sink = a != b                   // want "floating-point != comparison"
+	sink = float32(a) == float32(b) // want "floating-point == comparison"
+	sink = a == 0                   // exact-zero test: allowed
+	sink = 0 != b                   // exact-zero test: allowed
+	sink = a == math.Inf(1)         // IEEE-exact infinity test: allowed
+	sink = i == j                   // integers: allowed
+}
+
+func approxEqual(a, b float64) bool {
+	return a == b // tolerance helper by name: allowed
+}
+
+func nearlySame(a, b float64) bool {
+	return a != b // tolerance helper by name: allowed
+}

@@ -1,0 +1,72 @@
+// Package lp exercises the ctxloop analyzer: unbounded loops that call
+// solve machinery must consult the context or an iteration budget.
+package lp
+
+import "context"
+
+func solveStep() bool { return false }
+func otherWork()      {}
+
+const maxIters = 100
+
+func unboundedNoCheck() {
+	for { // want "unbounded loop calls solve machinery"
+		if solveStep() {
+			return
+		}
+	}
+}
+
+func condNoCheck(improving bool) {
+	for improving { // want "unbounded loop calls solve machinery"
+		improving = solveStep()
+	}
+}
+
+func withCtxErr(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if solveStep() {
+			return
+		}
+	}
+}
+
+func withSelect(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		if solveStep() {
+			return
+		}
+	}
+}
+
+func withBudget() {
+	iters := 0
+	for {
+		solveStep()
+		iters++
+		if iters > maxIters {
+			break
+		}
+	}
+}
+
+func threeClause(n int) {
+	for i := 0; i < n; i++ {
+		solveStep()
+	}
+}
+
+func noSolveWork() {
+	for {
+		otherWork()
+		return
+	}
+}

@@ -1,0 +1,36 @@
+// Package quiet exercises the nopanic analyzer: internal/ library code
+// returns typed errors; only Must* constructors may panic.
+package quiet
+
+import "errors"
+
+var errBad = errors.New("quiet: bad input")
+
+func Build(n int) (int, error) {
+	if n < 0 {
+		panic("negative") // want "panic in library package"
+	}
+	return n, nil
+}
+
+func MustBuild(n int) int {
+	if n < 0 {
+		panic(errBad) // Must* constructor: allowed
+	}
+	return n
+}
+
+func mustScale(n int) int {
+	if n == 0 {
+		panic(errBad) // must* helper: allowed
+	}
+	return 2 * n
+}
+
+func suppressedPanic(n int) int {
+	if n < 0 {
+		//lint:ignore pcflint/nopanic golden test: documented unreachable precondition
+		panic(errBad)
+	}
+	return n
+}

@@ -1,0 +1,39 @@
+// Package mutafterpub exercises the mutafterpub analyzer: published
+// core.Plan / routing.Realization values are immutable outside their
+// defining packages.
+package mutafterpub
+
+import (
+	"core"
+	"routing"
+)
+
+// local shares field names with core.Plan but is not protected.
+type local struct {
+	Score     float64
+	TunnelRes map[int]float64
+}
+
+func mutate(p *core.Plan, r *routing.Realization, l *local) {
+	p.Score = 1          // want "mutates field Score of a published core.Plan"
+	p.Score++            // want "mutates field Score of a published core.Plan"
+	p.TunnelRes[3] = 0.5 // want "mutates field TunnelRes of a published core.Plan"
+	delete(p.Z, 7)       // want "mutates field Z of a published core.Plan"
+	r.ArcLoad[0] += 2    // want "mutates field ArcLoad of a published routing.Realization"
+	r.Flow[1] = 3        // want "mutates field Flow of a published routing.Realization"
+
+	l.Score = 1          // unprotected local type: allowed
+	l.TunnelRes[3] = 0.5 // unprotected local type: allowed
+	_ = p.Score          // reading: allowed
+	p.Normalize()        // method call: allowed
+}
+
+// rebuild shows the sanctioned pattern: build the new maps first, then
+// publish the copy via a composite literal.
+func rebuild(p *core.Plan) *core.Plan {
+	z := make(map[int]float64, len(p.Z))
+	for k, v := range p.Z {
+		z[k] = v
+	}
+	return &core.Plan{Scheme: p.Scheme, Score: p.Score, Z: z}
+}

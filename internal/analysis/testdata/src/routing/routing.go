@@ -1,0 +1,10 @@
+// Package routing defines the published Realization type for the
+// mutafterpub golden test; its shape mirrors the real
+// routing.Realization.
+package routing
+
+// Realization is a checked routing of traffic onto arcs.
+type Realization struct {
+	ArcLoad []float64
+	Flow    map[int]float64
+}

@@ -1,0 +1,17 @@
+// Package suppress exercises the //lint:ignore directive handling:
+// a well-formed directive for the right analyzer on the offending line
+// or the line above suppresses; wrong-analyzer and malformed
+// directives do not.
+package suppress
+
+var sink bool
+
+func directives(a, b float64) {
+	//lint:ignore pcflint/floatcmp golden test: directive on the line above suppresses
+	sink = a == b
+	sink = a != b //lint:ignore pcflint/floatcmp golden test: same-line directive suppresses
+	//lint:ignore pcflint/nopanic a directive for a different analyzer does not suppress
+	sink = a == b // want "floating-point == comparison"
+	//lint:ignore pcflint/floatcmp
+	sink = a != b // want "floating-point != comparison"
+}

@@ -94,7 +94,10 @@ func Prepare(o Options) (*Setup, error) {
 	}
 	g, _ = g.PruneDegreeOne()
 	if o.SubLinkSplit > 1 {
-		g = g.SplitSubLinks(o.SubLinkSplit)
+		g, err = g.SplitSubLinks(o.SubLinkSplit)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s: %w", o.Topology, err)
+		}
 	}
 	tm := traffic.Gravity(g, traffic.GravityOptions{Seed: o.Seed, Jitter: 0.4})
 	pairs := tm.TopPairs(o.MaxPairs)

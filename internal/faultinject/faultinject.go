@@ -122,20 +122,21 @@ func NearSingularPlan() (*core.Plan, failures.Scenario) {
 		Failures:  failures.SingleLinks(g, 1),
 		Objective: core.DemandScale,
 	}
-	plan := &core.Plan{
-		Scheme:    "faultinject-near-singular",
-		Z:         map[topology.Pair]float64{p02: 0.05},
-		TunnelRes: map[tunnels.ID]float64{},
-		LSRes:     map[core.LSID]float64{0: 0.1, 1: 0.1},
-		Instance:  in,
-	}
 	// Single-link tunnels keep the segment pairs' rows well
 	// conditioned; the LS pairs themselves get no tunnel reservation,
 	// which is what makes their two rows linearly dependent.
+	tunnelRes := map[tunnels.ID]float64{}
 	for _, pr := range ts.Pairs() {
 		for _, id := range ts.ForPair(pr) {
-			plan.TunnelRes[id] = 0.3
+			tunnelRes[id] = 0.3
 		}
+	}
+	plan := &core.Plan{
+		Scheme:    "faultinject-near-singular",
+		Z:         map[topology.Pair]float64{p02: 0.05},
+		TunnelRes: tunnelRes,
+		LSRes:     map[core.LSID]float64{0: 0.1, 1: 0.1},
+		Instance:  in,
 	}
 	return plan, failures.Scenario{Dead: map[topology.LinkID]bool{}}
 }

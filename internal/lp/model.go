@@ -164,6 +164,7 @@ func (m *Model) NumConstraints() int { return len(m.cons) }
 // a numeric suffix so that debugging output stays readable.
 func (m *Model) AddVar(name string, lower, upper float64) Var {
 	if lower > upper {
+		//lint:ignore pcflint/nopanic documented model-builder precondition; bounds are authored in code, and a silently clamped model would solve the wrong LP
 		panic(fmt.Sprintf("lp: variable %s has lower bound %g > upper bound %g", name, lower, upper))
 	}
 	if _, ok := m.varBy[name]; ok {
@@ -317,6 +318,7 @@ func (m *Model) exprString(e *Expr) string {
 			b.WriteString("-")
 		}
 		c := math.Abs(t.Coeff)
+		//lint:ignore pcflint/floatcmp exact compare against 1 only drops the coefficient from debug output; no numerical decision depends on it
 		if c != 1 {
 			fmt.Fprintf(&b, "%g ", c)
 		}

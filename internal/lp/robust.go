@@ -82,6 +82,7 @@ func (p *Polytope) AddUpperBound(v AdvVar, ub float64) {
 // with name for debuggability.
 func RobustGE(m *Model, name string, p *Polytope, costs []*Expr, constPart, rhs *Expr) {
 	if len(costs) != p.NumVars() {
+		//lint:ignore pcflint/nopanic documented dualization precondition; an arity mismatch is a bug in the adversary builder, not a data condition
 		panic(fmt.Sprintf("lp: RobustGE %s: %d cost expressions for %d adversary vars",
 			name, len(costs), p.NumVars()))
 	}

@@ -1,0 +1,24 @@
+package topology
+
+import "errors"
+
+// Typed validation failures. Graph construction from untrusted input
+// goes through TryAddWeightedLink / ReadLinks, which report these
+// sentinels (wrapped with position context) instead of panicking, so
+// callers select their response with errors.Is. The panicking builder
+// methods (AddLink, AddWeightedLink, ShortestPath's nonnegative-weight
+// precondition) panic with errors wrapping the same sentinels; those
+// panics are documented programmer-error preconditions, listed in the
+// pcflint/nopanic allowlist (DESIGN.md §10).
+var (
+	// ErrSelfLoop reports a link whose endpoints are the same node.
+	ErrSelfLoop = errors.New("topology: self loop")
+	// ErrEndpointRange reports a link endpoint that is not an existing
+	// node of the graph.
+	ErrEndpointRange = errors.New("topology: link endpoint out of range")
+	// ErrNegativeWeight reports a negative routing weight, which both
+	// link construction and Dijkstra reject.
+	ErrNegativeWeight = errors.New("topology: negative link weight")
+	// ErrBadSplit reports a SplitSubLinks part count below 2.
+	ErrBadSplit = errors.New("topology: SplitSubLinks needs parts >= 2")
+)

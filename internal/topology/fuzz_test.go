@@ -1,0 +1,63 @@
+package topology
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzReadLinks drives the topology parser with arbitrary input. The
+// parser must never panic, and any graph it accepts must satisfy the
+// construction invariants that the rest of the pipeline (pruning,
+// tunnel selection, the LP builders) relies on: at least one link,
+// positive finite capacities, no self loops, endpoints in range.
+func FuzzReadLinks(f *testing.F) {
+	seeds := []string{
+		// The cmd/topogen format: "nodeA nodeB capacity" per line.
+		"0 1 10\n1 2 10\n2 0 4\n",
+		"# comment line\n\n0 1 2.5\n",
+		"0 1 1\n0 1 1\n", // parallel links are legal
+		"3 4 1e3\n",      // node ids need not appear in order
+		"0 0 1\n",        // self loop: rejected
+		"0 1 -1\n",       // nonpositive capacity: rejected
+		"0 1 NaN\n",      // non-finite capacity: rejected
+		"0 1 Inf\n",
+		"1 2\n",       // short line: rejected
+		"a b 1\n",     // non-numeric: rejected
+		"-1 2 1\n",    // negative id: rejected
+		"0 9999999 1", // id above the cap: rejected
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		// Cap input size: a single line may legally name node ids up to
+		// 2^20, so huge inputs only slow the fuzzer down without
+		// exercising new parser states.
+		if len(in) > 1<<12 {
+			return
+		}
+		g, err := ReadLinks(strings.NewReader(in), "fuzz")
+		if err != nil {
+			return
+		}
+		if g.NumLinks() == 0 {
+			t.Fatal("accepted graph has no links")
+		}
+		for i := 0; i < g.NumLinks(); i++ {
+			l := g.Link(LinkID(i))
+			if !(l.Capacity > 0) || math.IsInf(l.Capacity, 0) {
+				t.Fatalf("link %d: capacity %g not positive finite", i, l.Capacity)
+			}
+			if l.A == l.B {
+				t.Fatalf("link %d: self loop at node %d", i, l.A)
+			}
+			if l.A < 0 || int(l.A) >= g.NumNodes() || l.B < 0 || int(l.B) >= g.NumNodes() {
+				t.Fatalf("link %d: endpoints %d-%d outside %d nodes", i, l.A, l.B, g.NumNodes())
+			}
+			if !(l.Weight > 0) {
+				t.Fatalf("link %d: weight %g not positive", i, l.Weight)
+			}
+		}
+	})
+}

@@ -72,19 +72,41 @@ func (g *Graph) AddLink(a, b NodeID, capacity float64) LinkID {
 	return g.AddWeightedLink(a, b, capacity, 1)
 }
 
-// AddWeightedLink adds a link with an explicit routing weight.
+// AddWeightedLink adds a link with an explicit routing weight. It
+// panics on invalid endpoints or a negative weight: the panicking
+// builders exist for compile-time-fixed graphs (gadgets, synthesized
+// topologies) where a violation is a programmer error. Use
+// TryAddWeightedLink for untrusted input.
 func (g *Graph) AddWeightedLink(a, b NodeID, capacity, weight float64) LinkID {
-	if a == b {
-		panic(fmt.Sprintf("topology: self loop at node %d", a))
+	id, err := g.TryAddWeightedLink(a, b, capacity, weight)
+	if err != nil {
+		//lint:ignore pcflint/nopanic documented precondition of the compile-time builder API; data paths use TryAddWeightedLink
+		panic(err)
 	}
-	if int(a) >= len(g.names) || int(b) >= len(g.names) {
-		panic("topology: link endpoint out of range")
+	return id
+}
+
+// TryAddWeightedLink is AddWeightedLink with typed-error validation
+// instead of panics: it rejects self loops (ErrSelfLoop), endpoints
+// that are not existing nodes (ErrEndpointRange) and negative routing
+// weights (ErrNegativeWeight). Graphs built exclusively through it
+// satisfy the nonnegative-weight precondition of ShortestPath and
+// KShortestPaths with a nil weight function.
+func (g *Graph) TryAddWeightedLink(a, b NodeID, capacity, weight float64) (LinkID, error) {
+	if a == b {
+		return 0, fmt.Errorf("%w at node %d", ErrSelfLoop, a)
+	}
+	if a < 0 || b < 0 || int(a) >= len(g.names) || int(b) >= len(g.names) {
+		return 0, fmt.Errorf("%w: link %d-%d in graph of %d nodes", ErrEndpointRange, a, b, len(g.names))
+	}
+	if weight < 0 {
+		return 0, fmt.Errorf("%w: %g on link %d-%d", ErrNegativeWeight, weight, a, b)
 	}
 	l := Link{ID: LinkID(len(g.links)), A: a, B: b, Capacity: capacity, Weight: weight}
 	g.links = append(g.links, l)
 	g.out[a] = append(g.out[a], l.Forward())
 	g.out[b] = append(g.out[b], l.Reverse())
-	return l.ID
+	return l.ID, nil
 }
 
 // NumNodes reports the number of nodes.
@@ -204,10 +226,10 @@ func (g *Graph) PruneDegreeOne() (*Graph, []NodeID) {
 // SplitSubLinks splits every link into parallel independently failing
 // sub-links each carrying an equal share of the capacity, as §5 of the
 // paper does to study multiple simultaneous failures without
-// disconnecting the topology. parts must be >= 2.
-func (g *Graph) SplitSubLinks(parts int) *Graph {
+// disconnecting the topology. parts below 2 is reported as ErrBadSplit.
+func (g *Graph) SplitSubLinks(parts int) (*Graph, error) {
 	if parts < 2 {
-		panic("topology: SplitSubLinks needs parts >= 2")
+		return nil, fmt.Errorf("%w, got %d", ErrBadSplit, parts)
 	}
 	ng := New(g.Name + "-split")
 	for _, name := range g.names {
@@ -218,7 +240,7 @@ func (g *Graph) SplitSubLinks(parts int) *Graph {
 			ng.AddWeightedLink(l.A, l.B, l.Capacity/float64(parts), l.Weight)
 		}
 	}
-	return ng
+	return ng, nil
 }
 
 // IsConnected reports whether the graph is connected, ignoring the
@@ -402,7 +424,8 @@ func (g *Graph) ShortestPath(src, dst NodeID, weight func(LinkID) float64, banne
 				w = weight(l)
 			}
 			if w < 0 {
-				panic("topology: negative link weight")
+				//lint:ignore pcflint/nopanic Dijkstra precondition; graphs built via TryAddWeightedLink cannot carry negative weights, so only a buggy caller-supplied weight callback reaches this
+				panic(fmt.Errorf("%w: weight callback returned %g for link %d", ErrNegativeWeight, w, l))
 			}
 			_, v := g.ArcEnds(a)
 			if nd := dist[u] + w; nd < dist[v]-1e-15 {
@@ -627,19 +650,20 @@ func ReadLinks(r io.Reader, name string) (*Graph, error) {
 		if a < 0 || b < 0 {
 			return nil, fmt.Errorf("topology: line %d: negative node id", lineNo)
 		}
-		if a == b {
-			return nil, fmt.Errorf("topology: line %d: self loop at node %d", lineNo, a)
-		}
 		const maxNodeID = 1 << 20
 		if a > maxNodeID || b > maxNodeID {
 			return nil, fmt.Errorf("topology: line %d: node id exceeds %d", lineNo, maxNodeID)
 		}
-		if capacity <= 0 {
-			return nil, fmt.Errorf("topology: line %d: capacity must be positive", lineNo)
+		// NaN compares false against everything, so a plain <= 0 test
+		// would let "NaN" (which Sscanf %g accepts) through.
+		if !(capacity > 0) || math.IsInf(capacity, 0) {
+			return nil, fmt.Errorf("topology: line %d: capacity must be positive and finite", lineNo)
 		}
 		ensure(a)
 		ensure(b)
-		g.AddLink(NodeID(a), NodeID(b), capacity)
+		if _, err := g.TryAddWeightedLink(NodeID(a), NodeID(b), capacity, 1); err != nil {
+			return nil, fmt.Errorf("topology: line %d: %w", lineNo, err)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -156,7 +156,13 @@ func TestPruneEverything(t *testing.T) {
 
 func TestSplitSubLinks(t *testing.T) {
 	g := triangle()
-	split := g.SplitSubLinks(2)
+	split, err := g.SplitSubLinks(2)
+	if err != nil {
+		t.Fatalf("SplitSubLinks: %v", err)
+	}
+	if _, err := g.SplitSubLinks(1); err == nil {
+		t.Fatal("SplitSubLinks(1) should fail")
+	}
 	if split.NumLinks() != 6 {
 		t.Fatalf("split links = %d, want 6", split.NumLinks())
 	}

@@ -9,6 +9,7 @@
 package topozoo
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -69,7 +70,10 @@ func Load(name string) (*topology.Graph, error) {
 	return nil, fmt.Errorf("topozoo: unknown topology %q", name)
 }
 
-// MustLoad is Load that panics on unknown names.
+// MustLoad is Load that panics on unknown names; for code that hard-
+// wires a Table 3 name. The Must* naming places it on the
+// pcflint/nopanic allowlist (DESIGN.md §10); anything handling
+// user-supplied names uses Load.
 func MustLoad(name string) *topology.Graph {
 	g, err := Load(name)
 	if err != nil {
@@ -188,10 +192,14 @@ type Gadget struct {
 	Aux map[string]topology.NodeID
 }
 
+// ErrNoLink reports a gadget path hop between unconnected nodes.
+var ErrNoLink = errors.New("topozoo: no link between path nodes")
+
 // path builds a Path through the listed nodes, resolving each hop to a
-// cheapest connecting link (the gadgets have at most one link per node
-// pair, except where disambiguated by explicit link IDs).
-func path(g *topology.Graph, nodes ...topology.NodeID) topology.Path {
+// connecting link (the gadgets have at most one link per node pair,
+// except where disambiguated by explicit link IDs). A hop between
+// unconnected nodes is reported as ErrNoLink.
+func path(g *topology.Graph, nodes ...topology.NodeID) (topology.Path, error) {
 	var arcs []topology.ArcID
 	for i := 0; i+1 < len(nodes); i++ {
 		found := false
@@ -203,10 +211,21 @@ func path(g *topology.Graph, nodes ...topology.NodeID) topology.Path {
 			}
 		}
 		if !found {
-			panic(fmt.Sprintf("topozoo: no link %d-%d", nodes[i], nodes[i+1]))
+			return topology.Path{}, fmt.Errorf("%w: %d-%d", ErrNoLink, nodes[i], nodes[i+1])
 		}
 	}
-	return topology.Path{Arcs: arcs}
+	return topology.Path{Arcs: arcs}, nil
+}
+
+// mustPath is path for the compile-time gadget fixtures below, where a
+// missing link is a programmer error in the fixture itself (documented
+// pcflint/nopanic allowlist entry).
+func mustPath(g *topology.Graph, nodes ...topology.NodeID) topology.Path {
+	p, err := path(g, nodes...)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
 // Fig1 reproduces the paper's Fig. 1: the optimal response carries 2
@@ -231,10 +250,10 @@ func Fig1() *Gadget {
 	return &Gadget{
 		Graph: g, S: s, T: t,
 		Tunnels: []topology.Path{
-			path(g, s, n1, t),     // l1
-			path(g, s, n2, t),     // l2
-			path(g, s, n3, t),     // l3
-			path(g, s, n4, n3, t), // l4 (shares 3-t with l3)
+			mustPath(g, s, n1, t),     // l1
+			mustPath(g, s, n2, t),     // l2
+			mustPath(g, s, n3, t),     // l3
+			mustPath(g, s, n4, n3, t), // l4 (shares 3-t with l3)
 		},
 		Aux: map[string]topology.NodeID{"1": n1, "2": n2, "3": n3, "4": n4},
 	}
@@ -257,6 +276,7 @@ func Fig3() *Gadget {
 // guarantee at most 1/n (paper Proposition 3).
 func Fig4(p, n, m int) *Gadget {
 	if p < 1 || n < 1 || m < 2 {
+		//lint:ignore pcflint/nopanic documented precondition of a compile-time gadget family; parameters come from code, never from data
 		panic("topozoo: Fig4 requires p,n >= 1 and m >= 2")
 	}
 	g := topology.New(fmt.Sprintf("fig4(p=%d,n=%d,m=%d)", p, n, m))
@@ -313,12 +333,12 @@ func Fig5() *Gadget {
 	return &Gadget{
 		Graph: g, S: s, T: t,
 		Tunnels: []topology.Path{
-			path(g, s, n[1], n[5], t),
-			path(g, s, n[2], n[6], t),
-			path(g, s, n[3], n[7], t),
-			path(g, s, n[4], n[1], n[5], t),
-			path(g, s, n[4], n[2], n[6], t),
-			path(g, s, n[4], n[3], n[7], t),
+			mustPath(g, s, n[1], n[5], t),
+			mustPath(g, s, n[2], n[6], t),
+			mustPath(g, s, n[3], n[7], t),
+			mustPath(g, s, n[4], n[1], n[5], t),
+			mustPath(g, s, n[4], n[2], n[6], t),
+			mustPath(g, s, n[4], n[3], n[7], t),
 		},
 		Aux: aux,
 	}

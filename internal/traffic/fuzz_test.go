@@ -1,0 +1,60 @@
+package traffic
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrix drives the traffic-matrix parser with arbitrary input
+// and dimensions. The parser must never panic, and any matrix it
+// accepts must pass Validate and carry only finite nonnegative
+// demands — the preconditions of ScaleToMLU and the LP builders.
+func FuzzReadMatrix(f *testing.F) {
+	seeds := []struct {
+		in string
+		n  int
+	}{
+		// The cmd/topogen format: "src dst demand" per line.
+		{"0 1 2.5\n1 0 1\n", 4},
+		{"# comment\n\n2 3 0.125\n", 4},
+		{"0 1 0\n", 2},   // zero demand is legal
+		{"", 3},          // empty matrix is legal
+		{"0 0 1\n", 2},   // self demand: rejected
+		{"0 1 -2\n", 2},  // negative demand: rejected
+		{"0 1 NaN\n", 2}, // non-finite demand: rejected
+		{"0 1 Inf\n", 2}, //
+		{"0 5 1\n", 2},   // node out of range: rejected
+		{"x y z\n", 2},   // non-numeric: rejected
+		{"0 1 1 extra\n", 2},
+	}
+	for _, s := range seeds {
+		f.Add(s.in, s.n)
+	}
+	f.Fuzz(func(t *testing.T, in string, n int) {
+		// Keep the dense n x n allocation sane.
+		if n < 0 || n > 64 || len(in) > 1<<12 {
+			return
+		}
+		m, err := ReadMatrix(strings.NewReader(in), n)
+		if err != nil {
+			return
+		}
+		if m.N() != n {
+			t.Fatalf("matrix dimension %d, want %d", m.N(), n)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted matrix fails Validate: %v", err)
+		}
+		for i, row := range m.Demand {
+			for j, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					t.Fatalf("demand (%d,%d) = %g not finite nonnegative", i, j, v)
+				}
+			}
+		}
+		if total := m.Total(); math.IsNaN(total) || math.IsInf(total, 0) || total < 0 {
+			t.Fatalf("total demand %g not finite nonnegative", total)
+		}
+	})
+}

@@ -94,8 +94,11 @@ func sortPairsByDemand(pairs []topology.Pair, m *Matrix) {
 	sortSlice(pairs, func(a, b topology.Pair) bool {
 		da, sa, ta := lessKey(a)
 		db, sb, tb := lessKey(b)
-		if da != db {
-			return da < db
+		if da < db {
+			return true
+		}
+		if db < da {
+			return false
 		}
 		if sa != sb {
 			return sa < sb
@@ -245,6 +248,11 @@ func ReadMatrix(r io.Reader, n int) (*Matrix, error) {
 		}
 		if s < 0 || s >= n || t < 0 || t >= n {
 			return nil, fmt.Errorf("traffic: line %d: node out of range", lineNo)
+		}
+		// Validate catches negatives but not NaN (every comparison with
+		// NaN is false) or +Inf, both of which Sscanf %g accepts.
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return nil, fmt.Errorf("traffic: line %d: demand must be finite", lineNo)
 		}
 		m.Demand[s][t] = d
 	}

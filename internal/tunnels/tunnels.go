@@ -64,7 +64,9 @@ func (s *Set) Add(pair topology.Pair, path topology.Path) (ID, error) {
 	return id, nil
 }
 
-// MustAdd is Add that panics on error; for hand-built gadget fixtures.
+// MustAdd is Add that panics on error; for hand-built gadget fixtures
+// where a bad path is a programmer error. The Must* naming places it on
+// the pcflint/nopanic allowlist (DESIGN.md §10); data paths use Add.
 func (s *Set) MustAdd(pair topology.Pair, path topology.Path) ID {
 	id, err := s.Add(pair, path)
 	if err != nil {
@@ -150,6 +152,11 @@ type SelectOptions struct {
 func Select(g *topology.Graph, pairs []topology.Pair, opts SelectOptions) (*Set, error) {
 	if opts.PerPair <= 0 {
 		return nil, fmt.Errorf("tunnels: PerPair must be positive")
+	}
+	if opts.Penalty < 0 {
+		// A negative penalty would feed negative weights into the
+		// shortest-path machinery, which rejects them.
+		return nil, fmt.Errorf("tunnels: Penalty must be nonnegative, got %g", opts.Penalty)
 	}
 	penalty := opts.Penalty
 	if penalty == 0 {

@@ -1,13 +1,26 @@
 #!/bin/sh
-# check.sh is the contributor gate: formatting, vet, build, and the
-# full test suite under the race detector. Run it from the repo root
-# before sending a change.
+# check.sh is the contributor gate: formatting, vet, pcflint (the
+# repo's own static analyzers, see DESIGN.md §10), build, and the full
+# test suite under the race detector. Run it before sending a change.
 set -eu
 
-cd "$(dirname "$0")/.."
+# Resolve the script's real location so the gate works when invoked
+# through a symlink, then run from the repo root. readlink -f is not
+# POSIX, so follow links manually.
+script=$0
+while [ -L "$script" ]; do
+	target=$(readlink "$script")
+	case $target in
+	/*) script=$target ;;
+	*) script=$(dirname "$script")/$target ;;
+	esac
+done
+cd "$(dirname "$script")/.."
 
 echo "== gofmt"
-unformatted=$(gofmt -l .)
+# Only tracked files: gofmt -l . would also complain about generated
+# trees and scratch files that are not part of the change.
+unformatted=$(git ls-files -z -- '*.go' | xargs -0 gofmt -l)
 if [ -n "$unformatted" ]; then
 	echo "gofmt needed on:" >&2
 	echo "$unformatted" >&2
@@ -16,6 +29,9 @@ fi
 
 echo "== go vet"
 go vet ./...
+
+echo "== pcflint"
+go run ./cmd/pcflint ./...
 
 echo "== go build"
 go build ./...
