@@ -21,6 +21,7 @@ import (
 	"pcf/internal/failures"
 	"pcf/internal/linsolve"
 	"pcf/internal/lp"
+	"pcf/internal/mcf"
 	"pcf/internal/routing"
 	"pcf/internal/topology"
 	"pcf/internal/topozoo"
@@ -186,6 +187,27 @@ func BenchmarkSec52_TopSort(b *testing.B) {
 	}
 	b.ReportMetric(cell(b, t, 0, 1), "PCFCLS_sprint")
 	b.ReportMetric(cell(b, t, 0, 2), "TopSort_sprint")
+}
+
+// BenchmarkScenarioSweep measures the mcf scenario sweep — the
+// intrinsic-capability baseline that re-solves an optimal
+// multi-commodity flow once per failure scenario — on the benchmark
+// Sprint instance. This is the hot path of every "Optimal" column in
+// the paper's figures; scripts/bench.sh records its trajectory.
+func BenchmarkScenarioSweep(b *testing.B) {
+	setup, err := eval.Prepare(eval.Options{Topology: "Sprint", Seed: 1, MaxPairs: 24, FailureBudget: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		w, _, err := mcf.OptimalUnderFailures(setup.Graph, setup.TM, setup.Failures)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = w
+	}
+	b.ReportMetric(worst, "demand_scale")
 }
 
 // ---- Ablation benchmarks (DESIGN.md §6) ----

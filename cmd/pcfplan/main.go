@@ -98,6 +98,9 @@ func main() {
 		}
 		fmt.Printf("%s guaranteed demand scale: %.4f (solved in %v)\n",
 			plan.Scheme, plan.Value, time.Since(start).Round(time.Millisecond))
+		if line := eval.StatsLine(plan.Stats); line != "" {
+			fmt.Printf("lp: %s\n", line)
+		}
 		if len(plan.Degraded) > 0 {
 			fmt.Printf("degraded: abandoned %s\n", strings.Join(plan.Degraded, ", "))
 		}
@@ -107,6 +110,9 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("%s guaranteed demand scale: %.4f (solved in %v)\n", res.Scheme, res.Value, res.Time.Round(1e6))
+		if res.Stats != "" {
+			fmt.Printf("lp: %s\n", res.Stats)
+		}
 	}
 
 	if *showRes || *validate {

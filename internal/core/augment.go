@@ -75,7 +75,7 @@ func SolveAugmentPCFTF(in *Instance, zTarget float64, opts SolveOptions) (*Augme
 			e.Add(1, v)
 		}
 		e.Add(-1, extra[topology.LinkOf(topology.ArcID(arc))])
-		m.AddConstraint(fmt.Sprintf("cap[a%d]", arc), e, lp.LE,
+		m.AddConstraintN(capPat.N(arc), e, lp.LE,
 			in.Graph.ArcCapacity(topology.ArcID(arc)))
 	}
 	obj := lp.NewExpr()
@@ -93,12 +93,12 @@ func SolveAugmentPCFTF(in *Instance, zTarget float64, opts SolveOptions) (*Augme
 	var err error
 	if o.Method == Dualize || (o.Method == Auto && len(pairs)*in.Graph.NumLinks() <= 400) {
 		for i, p := range pairs {
-			lp.RobustGE(m, fmt.Sprintf("resil[%v]", p), specs[i].poly,
+			lp.RobustGE(m, resilPat.N(int(p.Src), int(p.Dst)).String(), specs[i].poly,
 				specs[i].costs, specs[i].constPart, specs[i].rhs)
 		}
 		sol, err = lp.SolveWithOptions(m, o.LP)
 	} else {
-		sol, err = solveByCuts(m, specs, o)
+		sol, _, err = solveByCuts(m, specs, o)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("augment: %w", err)

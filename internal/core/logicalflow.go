@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"pcf/internal/lp"
@@ -25,6 +26,16 @@ import (
 // with logical segments restricted to adjacent node pairs, so a flow's
 // support graph is the physical topology.
 
+var (
+	bwPairPat = lp.Pat("bw[(%d->%d)]")
+	pSegPat   = lp.Pat("p[t%d,(%d->%d)]")
+	fbPat     = lp.Pat("fb[t%d]-v%d")
+	fixPat    = lp.Pat("fix[(%d->%d)]")
+	bypPat    = lp.Pat("byp[%d]")
+	pbSegPat  = lp.Pat("pb[%d,(%d->%d)]")
+	fbbPat    = lp.Pat("fbb[%d]-v%d")
+)
+
 // FlowPlan is the result of the restricted logical-flow model.
 type FlowPlan struct {
 	Value     float64
@@ -44,6 +55,8 @@ type FlowPlan struct {
 	BypassSupport map[topology.ArcID]map[topology.Pair]float64
 	SolveTime     time.Duration
 	Instance      *Instance
+	// Stats summarizes the LP work behind the plan.
+	Stats SolveStats
 }
 
 // FlowOptions tune SolveRestrictedFlow.
@@ -178,7 +191,7 @@ func SolveRestrictedFlow(in *Instance, opts FlowOptions) (*FlowPlan, error) {
 
 	bw := map[topology.Pair]lp.Var{}
 	for _, p := range demand {
-		bw[p] = m.AddNonNeg(fmt.Sprintf("bw[%v]", p))
+		bw[p] = m.AddNonNegN(bwPairPat.N(int(p.Src), int(p.Dst)))
 	}
 
 	orderedSegs := func(set map[topology.Pair]bool) []topology.Pair {
@@ -195,14 +208,14 @@ func SolveRestrictedFlow(in *Instance, opts FlowOptions) (*FlowPlan, error) {
 	for _, t := range dests {
 		pDest[t] = map[topology.Pair]lp.Var{}
 		for _, seg := range orderedSegs(destSegs[t]) {
-			pDest[t][seg] = m.AddNonNeg(fmt.Sprintf("p[t%d,%v]", t, seg))
+			pDest[t][seg] = m.AddNonNegN(pSegPat.N(int(t), int(seg.Src), int(seg.Dst)))
 		}
 	}
 	// Flow balance for each destination aggregate (paper eq. 8,
 	// aggregated): out(v) - in(v) = b_{(v,t)} for v != t. Nodes with no
 	// incident support variable and no demand are skipped (their
 	// balance is trivially 0 = 0).
-	addBalance := func(name string, vars map[topology.Pair]lp.Var, source map[topology.Pair]lp.Var, skip topology.NodeID, singleSrc topology.NodeID, srcVar lp.Var) error {
+	addBalance := func(rowName func(v int) lp.Name, vars map[topology.Pair]lp.Var, source map[topology.Pair]lp.Var, skip topology.NodeID, singleSrc topology.NodeID, srcVar lp.Var) error {
 		touched := map[topology.NodeID]bool{}
 		for seg := range vars {
 			touched[seg.Src] = true
@@ -239,12 +252,13 @@ func SolveRestrictedFlow(in *Instance, opts FlowOptions) (*FlowPlan, error) {
 			if len(e.Terms) == 0 {
 				continue
 			}
-			m.AddConstraint(fmt.Sprintf("%s-v%d", name, v), e, lp.EQ, 0)
+			m.AddConstraintN(rowName(v), e, lp.EQ, 0)
 		}
 		return nil
 	}
 	for _, t := range dests {
-		if err := addBalance(fmt.Sprintf("fb[t%d]", t), pDest[t], bw, t, -1, -1); err != nil {
+		t := t
+		if err := addBalance(func(v int) lp.Name { return fbPat.N(int(t), v) }, pDest[t], bw, t, -1, -1); err != nil {
 			return nil, err
 		}
 	}
@@ -252,7 +266,7 @@ func SolveRestrictedFlow(in *Instance, opts FlowOptions) (*FlowPlan, error) {
 		// b_w = z_st d_st exactly.
 		for _, p := range demand {
 			e := lp.NewExpr().Add(1, bw[p]).AddExpr(-1, mv.zExpr(p))
-			m.AddConstraint(fmt.Sprintf("fix[%v]", p), e, lp.EQ, 0)
+			m.AddConstraintN(fixPat.N(int(p.Src), int(p.Dst)), e, lp.EQ, 0)
 		}
 	}
 
@@ -265,13 +279,14 @@ func SolveRestrictedFlow(in *Instance, opts FlowOptions) (*FlowPlan, error) {
 		if len(bypassSegs[a0]) == 0 {
 			continue // no alternative route exists (bridge in sparse mode)
 		}
-		bypassRes[arc] = m.AddNonNeg(fmt.Sprintf("byp[%d]", a0))
+		bypassRes[arc] = m.AddNonNegN(bypPat.N(a0))
 		pBypass[arc] = map[topology.Pair]lp.Var{}
 		for _, seg := range orderedSegs(bypassSegs[a0]) {
-			pBypass[arc][seg] = m.AddNonNeg(fmt.Sprintf("pb[%d,%v]", a0, seg))
+			pBypass[arc][seg] = m.AddNonNegN(pbSegPat.N(a0, int(seg.Src), int(seg.Dst)))
 		}
 		from, to := g.ArcEnds(arc)
-		if err := addBalance(fmt.Sprintf("fbb[%d]", a0), pBypass[arc], nil, to, from, bypassRes[arc]); err != nil {
+		a0 := a0
+		if err := addBalance(func(v int) lp.Name { return fbbPat.N(a0, v) }, pBypass[arc], nil, to, from, bypassRes[arc]); err != nil {
 			return nil, err
 		}
 	}
@@ -334,7 +349,7 @@ func SolveRestrictedFlow(in *Instance, opts FlowOptions) (*FlowPlan, error) {
 			if _, ok := bypassRes[arc]; !ok || arcPair(g, arc) != p {
 				continue
 			}
-			h := spec.conditionVar(fmt.Sprintf("hb%d", a0), LinkDead(topology.LinkOf(arc)))
+			h := spec.conditionVar("hb"+strconv.Itoa(a0), LinkDead(topology.LinkOf(arc)))
 			spec.addCost(h, lp.NewExpr().Add(1, bypassRes[arc]))
 		}
 		// RHS: support required on this segment by destination flows
@@ -345,7 +360,7 @@ func SolveRestrictedFlow(in *Instance, opts FlowOptions) (*FlowPlan, error) {
 			}
 		}
 		for _, arc := range loaders[p] {
-			h := spec.conditionVar(fmt.Sprintf("hs%d", arc), LinkDead(topology.LinkOf(arc)))
+			h := spec.conditionVar("hs"+strconv.Itoa(int(arc)), LinkDead(topology.LinkOf(arc)))
 			spec.addCost(h, lp.NewExpr().Add(-1, pBypass[arc][p]))
 		}
 		spec.rhs.AddExpr(1, mv.zExpr(p))
@@ -354,6 +369,7 @@ func SolveRestrictedFlow(in *Instance, opts FlowOptions) (*FlowPlan, error) {
 	}
 
 	var sol *lp.Solution
+	var stats SolveStats
 	var err error
 	method := o.Method
 	if method == Auto {
@@ -362,12 +378,15 @@ func SolveRestrictedFlow(in *Instance, opts FlowOptions) (*FlowPlan, error) {
 	switch method {
 	case Dualize:
 		for i, p := range orderedPairs {
-			lp.RobustGE(m, fmt.Sprintf("resil[%v]", p), specs[i].poly,
+			lp.RobustGE(m, resilPat.N(int(p.Src), int(p.Dst)).String(), specs[i].poly,
 				specs[i].costs, specs[i].constPart, specs[i].rhs)
 		}
 		sol, err = lp.SolveWithOptions(m, o.LP)
+		if err == nil {
+			stats = statsOf(sol)
+		}
 	default:
-		sol, err = solveByCuts(m, specs, o)
+		sol, stats, err = solveByCuts(m, specs, o)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("flow model: %w", err)
@@ -386,6 +405,7 @@ func SolveRestrictedFlow(in *Instance, opts FlowOptions) (*FlowPlan, error) {
 		BypassSupport: map[topology.ArcID]map[topology.Pair]float64{},
 		SolveTime:     time.Since(start),
 		Instance:      in,
+		Stats:         stats,
 	}
 	for tid, v := range mv.a {
 		plan.TunnelRes[tid] = clampTiny(sol.Value(v))

@@ -23,6 +23,17 @@ import (
 //     in the paper's Fig. 5 — R3 provides no guarantee and carries 0.
 //   - R3 cannot model node failures at all (§3.5).
 
+var (
+	rPat    = lp.Pat("r[t%d,a%d]")
+	rbPat   = lp.Pat("rb[t%d,v%d]")
+	pPat    = lp.Pat("p[%d,a%d]")
+	pbPat   = lp.Pat("pb[%d,v%d]")
+	lamPat  = lp.Pat("lam[a%d]")
+	sigPat  = lp.Pat("sig[e%d,a%d]")
+	dualPat = lp.Pat("dual[e%d,a%d]")
+	congPat = lp.Pat("cong[a%d]")
+)
+
 // SolveR3 computes R3's guaranteed demand scale. The failure set must
 // be link-based (every unit a single link).
 func SolveR3(in *Instance, opts SolveOptions) (*Plan, error) {
@@ -77,7 +88,7 @@ func SolveR3(in *Instance, opts SolveOptions) (*Plan, error) {
 	for _, t := range dests {
 		vars := make([]lp.Var, numArcs)
 		for a := 0; a < numArcs; a++ {
-			vars[a] = m.AddNonNeg(fmt.Sprintf("r[t%d,a%d]", t, a))
+			vars[a] = m.AddNonNegN(rPat.N(int(t), a))
 		}
 		r[t] = vars
 		for v := 0; v < n; v++ {
@@ -92,7 +103,7 @@ func SolveR3(in *Instance, opts SolveOptions) (*Plan, error) {
 			if d := in.TM.Demand[v][t]; d > 0 {
 				e.Add(-d, z)
 			}
-			m.AddConstraint(fmt.Sprintf("rb[t%d,v%d]", t, v), e, lp.EQ, 0)
+			m.AddConstraintN(rbPat.N(int(t), v), e, lp.EQ, 0)
 		}
 	}
 
@@ -110,7 +121,7 @@ func SolveR3(in *Instance, opts SolveOptions) (*Plan, error) {
 				vars[a] = -1
 				continue
 			}
-			vars[a] = m.AddNonNeg(fmt.Sprintf("p[%d,a%d]", a0, a))
+			vars[a] = m.AddNonNegN(pPat.N(a0, a))
 		}
 		p[a0] = vars
 		for v := 0; v < n; v++ {
@@ -130,7 +141,7 @@ func SolveR3(in *Instance, opts SolveOptions) (*Plan, error) {
 			if topology.NodeID(v) == from {
 				rhs = 1
 			}
-			m.AddConstraint(fmt.Sprintf("pb[%d,v%d]", a0, v), e, lp.EQ, rhs)
+			m.AddConstraintN(pbPat.N(a0, v), e, lp.EQ, rhs)
 		}
 	}
 
@@ -140,7 +151,7 @@ func SolveR3(in *Instance, opts SolveOptions) (*Plan, error) {
 	//   λ_a + σ_{e,a} >= c_e·(p_{fwd(e)}(a) + p_{rev(e)}(a))  ∀ links e.
 	for a := 0; a < numArcs; a++ {
 		arc := topology.ArcID(a)
-		lam := m.AddNonNeg(fmt.Sprintf("lam[a%d]", a))
+		lam := m.AddNonNegN(lamPat.N(a))
 		row := lp.NewExpr()
 		for _, t := range dests {
 			row.Add(1, r[t][a])
@@ -154,7 +165,7 @@ func SolveR3(in *Instance, opts SolveOptions) (*Plan, error) {
 			if !hasTerm {
 				continue
 			}
-			sig := m.AddNonNeg(fmt.Sprintf("sig[e%d,a%d]", e, a))
+			sig := m.AddNonNegN(sigPat.N(e, a))
 			row.Add(1, sig)
 			dualRow := lp.NewExpr().Add(1, lam).Add(1, sig)
 			ce := g.Link(link).Capacity
@@ -164,9 +175,9 @@ func SolveR3(in *Instance, opts SolveOptions) (*Plan, error) {
 			if p[rev][a] >= 0 {
 				dualRow.Add(-ce, p[rev][a])
 			}
-			m.AddConstraint(fmt.Sprintf("dual[e%d,a%d]", e, a), dualRow, lp.GE, 0)
+			m.AddConstraintN(dualPat.N(e, a), dualRow, lp.GE, 0)
 		}
-		m.AddConstraint(fmt.Sprintf("cong[a%d]", a), row, lp.LE, g.ArcCapacity(arc))
+		m.AddConstraintN(congPat.N(a), row, lp.LE, g.ArcCapacity(arc))
 	}
 
 	m.SetObjective(lp.NewExpr().Add(1, z), lp.Maximize)
@@ -177,6 +188,7 @@ func SolveR3(in *Instance, opts SolveOptions) (*Plan, error) {
 	switch sol.Status {
 	case lp.StatusOptimal:
 		plan.Value = sol.Objective
+		plan.Stats = statsOf(sol)
 	case lp.StatusInfeasible:
 		plan.Value = 0
 	default:

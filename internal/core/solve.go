@@ -72,6 +72,15 @@ func (o SolveOptions) ctxErr() error {
 // without converging. Matched with errors.Is.
 var ErrCutLimit = errors.New("core: cut generation round limit exhausted")
 
+var (
+	aPat     = lp.Pat("a[%d]")
+	bPat     = lp.Pat("b[%d]")
+	zPairPat = lp.Pat("z[(%d->%d)]")
+	capPat   = lp.Pat("cap[a%d]")
+	cutPat   = lp.Pat("cut[(%d->%d)]")
+	resilPat = lp.Pat("resil[(%d->%d)]")
+)
+
 // advBuilder builds the per-pair adversary spec for a scheme.
 type advBuilder func(in *Instance, p topology.Pair, mv *masterVars) *advSpec
 
@@ -84,12 +93,12 @@ func buildMaster(in *Instance, withLS bool) (*lp.Model, *masterVars) {
 
 	for _, p := range in.Tunnels.Pairs() {
 		for _, tid := range in.Tunnels.ForPair(p) {
-			mv.a[tid] = m.AddNonNeg(fmt.Sprintf("a[%d]", tid))
+			mv.a[tid] = m.AddNonNegN(aPat.N(int(tid)))
 		}
 	}
 	if withLS {
 		for _, q := range in.LSs {
-			mv.b[q.ID] = m.AddNonNeg(fmt.Sprintf("b[%d]", q.ID))
+			mv.b[q.ID] = m.AddNonNegN(bPat.N(int(q.ID)))
 		}
 	}
 
@@ -108,7 +117,7 @@ func buildMaster(in *Instance, withLS bool) (*lp.Model, *masterVars) {
 		zp := map[topology.Pair]lp.Var{}
 		obj := lp.NewExpr()
 		for _, p := range demand {
-			v := m.AddVar(fmt.Sprintf("z[%v]", p), 0, 1)
+			v := m.AddVarN(zPairPat.N(int(p.Src), int(p.Dst)), 0, 1)
 			zp[p] = v
 			obj.Add(in.TM.At(p), v)
 		}
@@ -138,7 +147,7 @@ func buildMaster(in *Instance, withLS bool) (*lp.Model, *masterVars) {
 		for _, v := range vars {
 			e.Add(1, v)
 		}
-		m.AddConstraint(fmt.Sprintf("cap[a%d]", arc), e, lp.LE,
+		m.AddConstraintN(capPat.N(arc), e, lp.LE,
 			in.Graph.ArcCapacity(topology.ArcID(arc)))
 	}
 	return m, mv
@@ -172,19 +181,21 @@ func solveScheme(in *Instance, scheme string, withLS bool, build advBuilder, opt
 	}
 
 	var sol *lp.Solution
+	var stats SolveStats
 	var err error
 	switch method {
 	case Dualize:
 		for i, p := range pairs {
-			lp.RobustGE(m, fmt.Sprintf("resil[%v]", p), specs[i].poly,
+			lp.RobustGE(m, resilPat.N(int(p.Src), int(p.Dst)).String(), specs[i].poly,
 				specs[i].costs, specs[i].constPart, specs[i].rhs)
 		}
 		sol, err = lp.SolveWithOptions(m, opts.LP)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", scheme, err)
 		}
+		stats = statsOf(sol)
 	case CutGen:
-		sol, err = solveByCuts(m, specs, opts)
+		sol, stats, err = solveByCuts(m, specs, opts)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", scheme, err)
 		}
@@ -192,31 +203,34 @@ func solveScheme(in *Instance, scheme string, withLS bool, build advBuilder, opt
 	if sol.Status != lp.StatusOptimal {
 		return nil, fmt.Errorf("%s: master LP: %w", scheme, sol.Err())
 	}
-	return extractPlan(in, scheme, sol, mv, time.Since(start)), nil
+	plan := extractPlan(in, scheme, sol, mv, time.Since(start))
+	plan.Stats = stats
+	return plan, nil
 }
 
-// cut is one generated robust-constraint row: the spec evaluated at a
-// fixed adversary point.
-type cut struct {
-	expr *lp.Expr
-	pair topology.Pair
-	// seed cuts for the no-failure scenario are never dropped: they
-	// keep the master bounded.
-	pinned bool
-	// idleRounds counts consecutive rounds the cut was slack.
-	idleRounds int
+// statsOf summarizes a one-shot (non-cutting-plane) solve.
+func statsOf(sol *lp.Solution) SolveStats {
+	return SolveStats{
+		Rounds:       1,
+		LPIterations: sol.Stats.Iterations(),
+		CompileTime:  sol.Stats.CompileTime,
+	}
 }
 
 // solveByCuts is the lazy-constraint engine. Every cut is the robust
 // constraint evaluated at one adversary point, so the master is always
 // a relaxation; when no pair's separation oracle finds a violation at
 // the master optimum, that point is feasible for the full constraint
-// set and hence optimal — regardless of which cuts are currently in
-// the master. That makes it safe to DROP cuts that stay slack, which
-// keeps the LP basis small (the dominant solve cost is quadratic in
-// the row count).
-func solveByCuts(base *lp.Model, specs []*advSpec, opts SolveOptions) (*lp.Solution, error) {
-	makeCut := func(spec *advSpec, w []float64, pinned bool) *cut {
+// set and hence optimal. The base model is compiled once; each round
+// appends only the newly violated cuts to the compiled form and
+// re-solves warm from the previous round's basis (an appended cut
+// enters primal-infeasible but dual-feasible, so the dual simplex
+// usually needs a handful of pivots per round — see DESIGN.md §11).
+// The cut set grows monotonically, which also guarantees finite
+// convergence: there are finitely many polytope vertices.
+func solveByCuts(base *lp.Model, specs []*advSpec, opts SolveOptions) (*lp.Solution, SolveStats, error) {
+	var stats SolveStats
+	cutExpr := func(spec *advSpec, w []float64) *lp.Expr {
 		e := lp.NewExpr()
 		e.AddExpr(1, spec.constPart)
 		for j, c := range spec.costs {
@@ -226,63 +240,54 @@ func solveByCuts(base *lp.Model, specs []*advSpec, opts SolveOptions) (*lp.Solut
 		}
 		e.AddExpr(-1, spec.rhs)
 		e.AddConst(0)
-		return &cut{expr: e, pair: spec.pair, pinned: pinned}
+		return e
 	}
 
 	// Seed each pair with the no-failure scenario (keeps the master
 	// bounded from round one) and every single-unit failure touching
 	// the pair — for a budget of one failure these seeds are usually
 	// already the binding scenarios, so separation converges in a
-	// round or two instead of rediscovering them one by one.
-	var cuts []*cut
+	// round or two instead of rediscovering them one by one. Seeds go
+	// into the model before compilation; later cuts are appended to
+	// the compiled form.
+	numCuts := 0
 	for _, spec := range specs {
-		for i, sc := range spec.seedScenarios() {
+		for _, sc := range spec.seedScenarios() {
 			w := spec.scenarioPoint(sc)
 			if !spec.poly.Contains(w, 1e-9) {
-				return nil, fmt.Errorf("internal: seed scenario %v is not a polytope point for %v", sc, spec.pair)
+				return nil, stats, fmt.Errorf("internal: seed scenario %v is not a polytope point for %v", sc, spec.pair)
 			}
-			cuts = append(cuts, makeCut(spec, w, i == 0))
+			base.AddConstraintN(cutPat.N(int(spec.pair.Src), int(spec.pair.Dst)),
+				cutExpr(spec, w), lp.GE, 0)
+			numCuts++
 		}
 	}
 
+	cm := lp.Compile(base)
+	stats.CompileTime = cm.CompileTime
+	var basis *lp.Basis
 	costBuf := make([]float64, 0, 64)
 	for round := 0; round < opts.MaxRounds; round++ {
+		stats.Rounds = round + 1
 		if err := opts.ctxErr(); err != nil {
-			return nil, fmt.Errorf("cut generation canceled after %d rounds (%d cuts): %w",
-				round, len(cuts), err)
+			return nil, stats, fmt.Errorf("cut generation canceled after %d rounds (%d cuts): %w",
+				round, numCuts, err)
 		}
-		// Fresh master: base rows plus the active cuts.
-		m := base.Clone()
-		for _, c := range cuts {
-			m.AddConstraint(fmt.Sprintf("cut[%v]", c.pair), c.expr, lp.GE, 0)
-		}
-		sol, err := lp.SolveWithOptions(m, opts.LP)
+		lpOpts := opts.LP
+		lpOpts.WarmStart = basis
+		sol, err := cm.Solve(lpOpts)
 		if err != nil {
-			return nil, err
+			return nil, stats, err
 		}
+		stats.LPIterations += sol.Stats.Iterations()
+		if sol.Stats.WarmHit {
+			stats.WarmHits++
+		}
+		stats.Cuts = numCuts
 		if sol.Status != lp.StatusOptimal {
-			return sol, nil
+			return sol, stats, nil
 		}
-		// Age and drop cuts that stay slack (a cut is slack when its
-		// row value is strictly positive at the optimum). Dropping only
-		// pays off for large masters, and is disabled after the first
-		// rounds: a monotonically growing cut set guarantees finite
-		// convergence (there are finitely many polytope vertices),
-		// while indefinite dropping can oscillate.
-		if round < 4 && len(cuts) > 400 {
-			kept := cuts[:0]
-			for _, c := range cuts {
-				if !c.pinned && sol.Eval(c.expr) > opts.Tol {
-					c.idleRounds++
-				} else {
-					c.idleRounds = 0
-				}
-				if c.pinned || c.idleRounds < 2 {
-					kept = append(kept, c)
-				}
-			}
-			cuts = kept
-		}
+		basis = sol.Basis
 
 		violated := 0
 		for _, spec := range specs {
@@ -296,20 +301,22 @@ func solveByCuts(base *lp.Model, specs []*advSpec, opts SolveOptions) (*lp.Solut
 			}
 			inner, w, err := spec.poly.Minimize(costBuf)
 			if err != nil {
-				return nil, err
+				return nil, stats, err
 			}
 			lhs := sol.Eval(spec.constPart) + inner
 			rhs := sol.Eval(spec.rhs)
 			if lhs < rhs-opts.Tol {
-				cuts = append(cuts, makeCut(spec, w, false))
+				cm.AddRow(cutPat.N(int(spec.pair.Src), int(spec.pair.Dst)),
+					cutExpr(spec, w), lp.GE, 0)
+				numCuts++
 				violated++
 			}
 		}
 		if violated == 0 {
-			return sol, nil
+			return sol, stats, nil
 		}
 	}
-	return nil, fmt.Errorf("%w (%d rounds, %d cuts live)", ErrCutLimit, opts.MaxRounds, len(cuts))
+	return nil, stats, fmt.Errorf("%w (%d rounds, %d cuts live)", ErrCutLimit, opts.MaxRounds, numCuts)
 }
 
 func extractPlan(in *Instance, scheme string, sol *lp.Solution, mv *masterVars, dur time.Duration) *Plan {

@@ -257,6 +257,25 @@ type Plan struct {
 	// Degraded lists the scheme rungs SolveBest tried and abandoned
 	// before this plan was produced (empty for a direct solve).
 	Degraded []string
+	// Stats summarizes the LP work behind the plan.
+	Stats SolveStats
+}
+
+// SolveStats aggregates simplex statistics across the master solves
+// that produced a plan.
+type SolveStats struct {
+	// Rounds is the number of cutting-plane rounds (1 for a direct
+	// dualized solve).
+	Rounds int
+	// Cuts is the number of cut rows in the final master (0 when
+	// dualized).
+	Cuts int
+	// WarmHits counts the re-solves served by the warm-start path.
+	WarmHits int
+	// LPIterations totals simplex iterations across all rounds.
+	LPIterations int
+	// CompileTime is the one-time cost of compiling the master model.
+	CompileTime time.Duration
 }
 
 // ScaledDemand returns z_p * d_p for a pair under this plan.

@@ -145,6 +145,34 @@ type Result struct {
 	Time time.Duration
 	// Extra carries scheme-specific notes (e.g. pruned LS fraction).
 	Extra string
+	// Stats summarizes the LP work behind the result: compile time,
+	// simplex iterations, cutting-plane rounds and warm-start hits.
+	// Empty when the scheme exposes no statistics.
+	Stats string
+}
+
+// StatsLine formats a plan's solve statistics for display.
+func StatsLine(st core.SolveStats) string {
+	if st.Rounds == 0 {
+		return ""
+	}
+	line := fmt.Sprintf("compile %v, %d LP iters",
+		st.CompileTime.Round(time.Microsecond), st.LPIterations)
+	if st.Rounds > 1 {
+		line += fmt.Sprintf(", %d rounds, %d cuts, warm %d/%d",
+			st.Rounds, st.Cuts, st.WarmHits, st.Rounds)
+	}
+	return line
+}
+
+// SweepStatsLine formats a scenario sweep's statistics for display.
+func SweepStatsLine(st *mcf.SweepStats) string {
+	if st == nil {
+		return ""
+	}
+	return fmt.Sprintf("compile %v, %d LP iters, %d scenarios, warm %d (%.0f%% hit), %d workers",
+		st.CompileTime.Round(time.Microsecond), st.LPIterations, st.Scenarios,
+		st.WarmHits, 100*st.WarmHitRate(), st.Workers)
 }
 
 // Scheme names understood by Run.
@@ -182,13 +210,13 @@ func (s *Setup) RunContext(ctx context.Context, scheme string) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{Scheme: scheme, Value: plan.Value, Time: plan.SolveTime}, nil
+		return Result{Scheme: scheme, Value: plan.Value, Time: plan.SolveTime, Stats: StatsLine(plan.Stats)}, nil
 	case SchemePCFTF:
 		plan, err := core.SolvePCFTF(s.instance(0), solveOpts)
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{Scheme: scheme, Value: plan.Value, Time: plan.SolveTime}, nil
+		return Result{Scheme: scheme, Value: plan.Value, Time: plan.SolveTime, Stats: StatsLine(plan.Stats)}, nil
 	case SchemePCFLS:
 		in, err := s.lsInstance()
 		if err != nil {
@@ -198,7 +226,7 @@ func (s *Setup) RunContext(ctx context.Context, scheme string) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{Scheme: scheme, Value: plan.Value, Time: plan.SolveTime}, nil
+		return Result{Scheme: scheme, Value: plan.Value, Time: plan.SolveTime, Stats: StatsLine(plan.Stats)}, nil
 	case SchemePCFCLS, SchemePCFCLSTopSort:
 		mode := s.Opts.CLSMode
 		if mode == "" {
@@ -241,22 +269,22 @@ func (s *Setup) RunContext(ctx context.Context, scheme string) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{Scheme: scheme, Value: plan.Value, Time: time.Since(start), Extra: extra}, nil
+		return Result{Scheme: scheme, Value: plan.Value, Time: time.Since(start), Extra: extra, Stats: StatsLine(plan.Stats)}, nil
 	case SchemeR3:
 		plan, err := core.SolveR3(s.instance(0), solveOpts)
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{Scheme: scheme, Value: plan.Value, Time: plan.SolveTime}, nil
+		return Result{Scheme: scheme, Value: plan.Value, Time: plan.SolveTime, Stats: StatsLine(plan.Stats)}, nil
 	case SchemeOptimal:
 		if s.Opts.Objective == core.Throughput {
 			return Result{}, fmt.Errorf("eval: the paper does not compute the optimal for the throughput metric (combinatorial blow-up)")
 		}
-		z, _, err := mcf.OptimalUnderFailuresContext(ctx, s.Graph, s.TM, s.Failures)
+		z, _, sw, err := mcf.OptimalUnderFailuresStats(ctx, s.Graph, s.TM, s.Failures)
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{Scheme: scheme, Value: z, Time: time.Since(start)}, nil
+		return Result{Scheme: scheme, Value: z, Time: time.Since(start), Stats: SweepStatsLine(sw)}, nil
 	}
 	return Result{}, fmt.Errorf("eval: unknown scheme %q", scheme)
 }

@@ -492,7 +492,7 @@ func Fig13(cfg Config) (*Table, error) {
 func Fig14(cfg Config) (*Table, error) {
 	t := &Table{
 		Title:   "Figure 14: solving time vs number of sub-links (f=3, 2 sub-links per link)",
-		Columns: []string{"topology", "sub-links", "PCF-TF", "PCF-CLS", "Optimal (f=1 scenarios)"},
+		Columns: []string{"topology", "sub-links", "PCF-TF", "PCF-CLS", "Optimal (f=1 scenarios)", "PCF-CLS LP stats"},
 	}
 	entries := topozoo.SortedEntries()
 	want := map[string]bool{}
@@ -537,6 +537,7 @@ func Fig14(cfg Config) (*Table, error) {
 		} else {
 			row = append(row, "-")
 		}
+		row = append(row, cls.Stats)
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil

@@ -140,3 +140,81 @@ func NearSingularPlan() (*core.Plan, failures.Scenario) {
 	}
 	return plan, failures.Scenario{Dead: map[topology.LinkID]bool{}}
 }
+
+// LPCorpus returns a deterministic, seeded corpus of feasible bounded
+// LP models exercising the solver's structural variety: chain LPs
+// that force long pivot sequences, perturbed variants with broken
+// degeneracy, and random capacitated models mixing LE/GE/EQ rows.
+// Tests use it to cross-check solver paths (e.g. warm vs cold starts)
+// on inputs with different sparsity, sign and degeneracy patterns.
+func LPCorpus(seed int64) []*lp.Model {
+	rng := rand.New(rand.NewSource(seed))
+	var corpus []*lp.Model
+
+	// Chain LPs: min Σx with x_i + x_{i+1} >= 1, highly degenerate.
+	chain := func(n int) *lp.Model {
+		m := lp.NewModel()
+		obj := lp.NewExpr()
+		vars := make([]lp.Var, n+1)
+		for i := range vars {
+			vars[i] = m.AddVar(fmt.Sprintf("x%d", i), 0, 1)
+			obj.Add(1, vars[i])
+		}
+		for i := 0; i < n; i++ {
+			m.AddConstraint(fmt.Sprintf("c%d", i),
+				lp.NewExpr().Add(1, vars[i]).Add(1, vars[i+1]), lp.GE, 1)
+		}
+		m.SetObjective(obj, lp.Minimize)
+		return m
+	}
+	for _, n := range []int{4, 9, 23} {
+		corpus = append(corpus, chain(n))
+		p := chain(n)
+		p.Perturb(rng.Int63(), 1e-3)
+		corpus = append(corpus, p)
+	}
+
+	// Random capacitated models: maximize a positive objective over
+	// variables with finite upper bounds and random LE capacity rows,
+	// plus occasional GE floors and EQ couplings that keep the model
+	// feasible by construction (floors at 0, couplings between two
+	// free-to-move variables).
+	for k := 0; k < 6; k++ {
+		nv := 3 + rng.Intn(8)
+		nc := 2 + rng.Intn(6)
+		m := lp.NewModel()
+		obj := lp.NewExpr()
+		vars := make([]lp.Var, nv)
+		for j := range vars {
+			vars[j] = m.AddVar(fmt.Sprintf("v%d", j), 0, 1+4*rng.Float64())
+			obj.Add(0.1+rng.Float64(), vars[j])
+		}
+		for i := 0; i < nc; i++ {
+			e := lp.NewExpr()
+			terms := 0
+			for j := range vars {
+				if rng.Float64() < 0.5 {
+					e.Add(0.1+rng.Float64(), vars[j])
+					terms++
+				}
+			}
+			if terms == 0 {
+				e.Add(1, vars[rng.Intn(nv)])
+			}
+			m.AddConstraint(fmt.Sprintf("cap%d", i), e, lp.LE, 0.5+2*rng.Float64())
+		}
+		if k%2 == 0 {
+			// A floor of 0 on a nonneg sum is always satisfiable.
+			m.AddConstraint("floor",
+				lp.NewExpr().Add(1, vars[0]).Add(1, vars[nv-1]), lp.GE, 0)
+		}
+		if k%3 == 0 {
+			// Couple two variables; both sides can move freely in [0, ub].
+			m.AddConstraint("eq",
+				lp.NewExpr().Add(1, vars[0]).Add(-1, vars[1]), lp.EQ, 0)
+		}
+		m.SetObjective(obj, lp.Maximize)
+		corpus = append(corpus, m)
+	}
+	return corpus
+}

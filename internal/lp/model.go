@@ -119,7 +119,7 @@ func (e *Expr) compact() {
 
 // Constraint is a single linear constraint LHS sense RHS.
 type Constraint struct {
-	Name  string
+	Name  Name
 	Expr  *Expr
 	Sense Sense
 	RHS   float64
@@ -138,7 +138,7 @@ const (
 // Model is a linear program under construction. The zero value is not
 // usable; create models with NewModel.
 type Model struct {
-	names   []string
+	names   []Name
 	lower   []float64
 	upper   []float64
 	cons    []Constraint
@@ -163,33 +163,50 @@ func (m *Model) NumConstraints() int { return len(m.cons) }
 // unbounded-above variable. Names must be unique; a duplicate name gets
 // a numeric suffix so that debugging output stays readable.
 func (m *Model) AddVar(name string, lower, upper float64) Var {
-	if lower > upper {
-		//lint:ignore pcflint/nopanic documented model-builder precondition; bounds are authored in code, and a silently clamped model would solve the wrong LP
-		panic(fmt.Sprintf("lp: variable %s has lower bound %g > upper bound %g", name, lower, upper))
-	}
 	if _, ok := m.varBy[name]; ok {
 		m.nameDup[name]++
 		name = fmt.Sprintf("%s#%d", name, m.nameDup[name])
+	}
+	v := m.AddVarN(Lit(name), lower, upper)
+	m.varBy[name] = v
+	return v
+}
+
+// AddVarN is AddVar with a lazy Name. It skips the duplicate-name
+// bookkeeping (and its rendering cost): pattern-named variables are
+// unique by construction at their naming sites.
+func (m *Model) AddVarN(name Name, lower, upper float64) Var {
+	if lower > upper {
+		//lint:ignore pcflint/nopanic documented model-builder precondition; bounds are authored in code, and a silently clamped model would solve the wrong LP
+		panic(fmt.Sprintf("lp: variable %s has lower bound %g > upper bound %g", name, lower, upper))
 	}
 	v := Var(len(m.names))
 	m.names = append(m.names, name)
 	m.lower = append(m.lower, lower)
 	m.upper = append(m.upper, upper)
-	m.varBy[name] = v
 	return v
 }
 
 // AddNonNeg adds a variable bounded to [0, +inf).
 func (m *Model) AddNonNeg(name string) Var { return m.AddVar(name, 0, math.Inf(1)) }
 
+// AddNonNegN is AddNonNeg with a lazy Name.
+func (m *Model) AddNonNegN(name Name) Var { return m.AddVarN(name, 0, math.Inf(1)) }
+
 // VarName returns the name of v.
-func (m *Model) VarName(v Var) string { return m.names[v] }
+func (m *Model) VarName(v Var) string { return m.names[v].String() }
 
 // Bounds returns the lower and upper bound of v.
 func (m *Model) Bounds(v Var) (lo, hi float64) { return m.lower[v], m.upper[v] }
 
 // AddConstraint adds expr sense rhs as a row and returns its index.
 func (m *Model) AddConstraint(name string, expr *Expr, sense Sense, rhs float64) int {
+	return m.AddConstraintN(Lit(name), expr, sense, rhs)
+}
+
+// AddConstraintN is AddConstraint with a lazy Name, deferring the
+// name's rendering to diagnostics that actually need it.
+func (m *Model) AddConstraintN(name Name, expr *Expr, sense Sense, rhs float64) int {
 	e := expr.Clone()
 	e.compact()
 	// Fold the expression offset into the right-hand side.
@@ -244,9 +261,16 @@ func (s Status) String() string {
 type Solution struct {
 	Status    Status
 	Objective float64
-	values    []float64
-	duals     []float64
-	model     *Model
+	// Basis is the optimal simplex basis, set on StatusOptimal. Feed
+	// it back through Options.WarmStart to seed a re-solve of the same
+	// Compiled after RHS edits or appended rows.
+	Basis *Basis
+	// Stats reports solve statistics (iterations, timings, warm-start
+	// outcome).
+	Stats  SolveStats
+	values []float64
+	duals  []float64
+	model  *Model
 }
 
 // Value returns the optimal value of v.
@@ -322,7 +346,7 @@ func (m *Model) exprString(e *Expr) string {
 		if c != 1 {
 			fmt.Fprintf(&b, "%g ", c)
 		}
-		b.WriteString(m.names[t.Var])
+		b.WriteString(m.names[t.Var].String())
 	}
 	if e.Offset != 0 || len(e.Terms) == 0 {
 		fmt.Fprintf(&b, " + %g", e.Offset)
@@ -335,7 +359,7 @@ func (m *Model) exprString(e *Expr) string {
 // cutting-plane engine to rebuild masters with a different cut set.
 func (m *Model) Clone() *Model {
 	c := NewModel()
-	c.names = append([]string(nil), m.names...)
+	c.names = append([]Name(nil), m.names...)
 	c.lower = append([]float64(nil), m.lower...)
 	c.upper = append([]float64(nil), m.upper...)
 	for name, v := range m.varBy {

@@ -1,0 +1,92 @@
+package lp
+
+import (
+	"strconv"
+	"strings"
+)
+
+// This file implements lazy, interned naming for variables and
+// constraint rows. Model builders in hot paths (the cut-generation
+// master, the R3 baseline, the per-scenario MCF) create hundreds of
+// thousands of named rows and columns; materializing each name with
+// fmt.Sprintf dominated model-build profiles. A Name instead holds an
+// interned format (a Pattern, created once per call site) plus up to
+// three small integer arguments, and renders to a string only when a
+// human actually needs it — in debug listings, error messages, or
+// duplicate-name checks. Rendered output is byte-identical to the
+// fmt.Sprintf("%d"-only) formats it replaces.
+
+// maxNameArgs is the number of integer arguments a Name can carry.
+const maxNameArgs = 3
+
+// Pattern is an interned name format containing only %d verbs (at
+// most three). Create one per naming site with Pat and instantiate
+// names with Pattern.N.
+type Pattern struct {
+	segs []string // literal segments around the %d verbs
+}
+
+// Pat compiles a format string containing only %d verbs into a
+// Pattern. It panics on any other verb: patterns are authored in
+// code, and an unsupported verb would silently corrupt every name
+// rendered from the site.
+func Pat(format string) *Pattern {
+	segs := strings.Split(format, "%d")
+	if len(segs)-1 > maxNameArgs {
+		//lint:ignore pcflint/nopanic naming-site precondition; patterns are compile-time literals and an over-long one is a bug at the authoring site
+		panic("lp: Pat: more than " + strconv.Itoa(maxNameArgs) + " %d verbs in " + strconv.Quote(format))
+	}
+	for _, s := range segs {
+		if strings.ContainsRune(s, '%') {
+			//lint:ignore pcflint/nopanic naming-site precondition; only %d is supported and other verbs would render wrong names for every use of the site
+			panic("lp: Pat: unsupported verb in " + strconv.Quote(format))
+		}
+	}
+	return &Pattern{segs: segs}
+}
+
+// Name is a lazily rendered identifier: either a literal string or an
+// interned Pattern plus its integer arguments. The zero Name renders
+// as the empty string. Name is comparable and small enough to pass by
+// value.
+type Name struct {
+	pat  *Pattern
+	lit  string
+	args [maxNameArgs]int32
+}
+
+// Lit wraps an already materialized string as a Name.
+func Lit(s string) Name { return Name{lit: s} }
+
+// N instantiates the pattern with its integer arguments. The argument
+// count must match the pattern's %d count.
+func (p *Pattern) N(args ...int) Name {
+	if len(args) != len(p.segs)-1 {
+		//lint:ignore pcflint/nopanic naming-site precondition; an arity mismatch is a bug at the call site and would render a wrong name on every use
+		panic("lp: Pattern.N: got " + strconv.Itoa(len(args)) + " args for " + strconv.Itoa(len(p.segs)-1) + " verbs")
+	}
+	n := Name{pat: p}
+	for i, a := range args {
+		n.args[i] = int32(a)
+	}
+	return n
+}
+
+// String materializes the name.
+func (n Name) String() string {
+	if n.pat == nil {
+		return n.lit
+	}
+	segs := n.pat.segs
+	size := 0
+	for _, s := range segs {
+		size += len(s)
+	}
+	buf := make([]byte, 0, size+(len(segs)-1)*11)
+	buf = append(buf, segs[0]...)
+	for i := 1; i < len(segs); i++ {
+		buf = strconv.AppendInt(buf, int64(n.args[i-1]), 10)
+		buf = append(buf, segs[i]...)
+	}
+	return string(buf)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"time"
 )
 
 // ctxCheckPeriod is how many simplex iterations pass between context
@@ -37,6 +38,14 @@ type Options struct {
 	// return aborts the solve (or fails the refactorization, for
 	// FaultRefactor events) with the returned error in the chain.
 	FaultHook func(FaultEvent) error
+	// WarmStart, when non-nil, is an optimal basis from a previous
+	// solve of the same Compiled (Solution.Basis), possibly captured
+	// before SetRowRHS/FixVar edits or AddRow appends. The solver
+	// restores primal feasibility from it with the dual simplex (RHS
+	// edits) or a warm phase 1 (appended equality rows) and falls back
+	// to a cold solve whenever the basis proves unusable, so a warm
+	// start never changes the result — only the work to reach it.
+	WarmStart *Basis
 }
 
 // ctxErr reports the context's cancellation error, nil without one.
@@ -69,184 +78,44 @@ func (o Options) withDefaults(m, n int) Options {
 	return o
 }
 
+// SolveStats reports how a solve went, for the statistics surfaced
+// through core, mcf, and the cmds.
+type SolveStats struct {
+	// CompileTime is the model-to-standard-form lowering time of the
+	// Compiled this solution came from.
+	CompileTime time.Duration
+	// SolveTime is the wall-clock time of this Solve call.
+	SolveTime time.Duration
+	// Phase1Iters, Phase2Iters, and DualIters count primal phase-1,
+	// primal phase-2, and dual-simplex iterations.
+	Phase1Iters int
+	Phase2Iters int
+	DualIters   int
+	// WarmStarted records that a warm basis was supplied; WarmHit that
+	// the warm path produced the result (no cold fallback).
+	WarmStarted bool
+	WarmHit     bool
+}
+
+// Iterations reports the total simplex iterations across all phases.
+func (s SolveStats) Iterations() int { return s.Phase1Iters + s.Phase2Iters + s.DualIters }
+
 // Solve optimizes the model with default options.
 func Solve(m *Model) (*Solution, error) { return SolveWithOptions(m, Options{}) }
 
-type entry struct {
-	row int
-	val float64
-}
-
-// varMap records how a standard-form column maps back to a model var.
-type varMap struct {
-	v     Var     // model variable, or -1 for slack/surplus/artificial
-	scale float64 // +1 or -1 (negative part of a free variable)
-	shift float64 // added to recover the model value
-}
-
-type standardForm struct {
-	nRows    int
-	nCols    int
-	cols     [][]entry
-	b        []float64
-	c        []float64
-	maps     []varMap
-	rowOf    []int     // model row index for each std row, or -1 for bound rows
-	rowNeg   []bool    // whether the model row was negated to make b >= 0
-	rowSign  []float64 // dual sign conversion factor per std row
-	negObj   bool      // objective was negated (Maximize)
-	nModel   int       // number of model variables
-	objConst float64   // constant objective offset in standard form
-}
-
-// toStandard converts the model to min c'x, Ax=b, x>=0, b>=0.
-func toStandard(mod *Model) *standardForm {
-	sf := &standardForm{nModel: mod.NumVars()}
-
-	type colRef struct {
-		pos    int // column index of positive part
-		neg    int // column of negative part for free vars, else -1
-		shift  float64
-		hasUB  bool
-		ubRHS  float64 // upper bound row RHS (hi - lo)
-		ubRowI int
-	}
-	refs := make([]colRef, mod.NumVars())
-
-	addCol := func(v Var, scale, shift float64) int {
-		sf.cols = append(sf.cols, nil)
-		sf.maps = append(sf.maps, varMap{v: v, scale: scale, shift: shift})
-		return len(sf.cols) - 1
-	}
-
-	for i := 0; i < mod.NumVars(); i++ {
-		lo, hi := mod.lower[i], mod.upper[i]
-		r := colRef{neg: -1}
-		switch {
-		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
-			r.pos = addCol(Var(i), 1, 0)
-			r.neg = addCol(Var(i), -1, 0)
-		case math.IsInf(lo, -1):
-			// x <= hi: substitute x = hi - x', x' >= 0.
-			r.pos = addCol(Var(i), -1, hi)
-			r.shift = hi
-		default:
-			// x >= lo: substitute x = lo + x'.
-			r.pos = addCol(Var(i), 1, lo)
-			r.shift = lo
-			if !math.IsInf(hi, 1) {
-				r.hasUB = true
-				r.ubRHS = hi - lo
-			}
-		}
-		refs[i] = r
-	}
-
-	// Rows: model constraints then upper-bound rows.
-	nModelRows := mod.NumConstraints()
-	addRow := func(modelRow int) int {
-		sf.b = append(sf.b, 0)
-		sf.rowOf = append(sf.rowOf, modelRow)
-		sf.rowNeg = append(sf.rowNeg, false)
-		return len(sf.b) - 1
-	}
-
-	type rowTerm struct {
-		col int
-		v   float64
-	}
-	rows := make([][]rowTerm, 0, nModelRows)
-	senses := make([]Sense, 0, nModelRows)
-
-	for ri, con := range mod.cons {
-		row := addRow(ri)
-		rhs := con.RHS
-		var terms []rowTerm
-		for _, t := range con.Expr.Terms {
-			r := refs[t.Var]
-			mv := sf.maps[r.pos]
-			if mv.scale < 0 { // substituted x = hi - x'
-				rhs -= t.Coeff * mv.shift
-				terms = append(terms, rowTerm{r.pos, -t.Coeff})
-			} else {
-				rhs -= t.Coeff * r.shift
-				terms = append(terms, rowTerm{r.pos, t.Coeff})
-			}
-			if r.neg >= 0 {
-				terms = append(terms, rowTerm{r.neg, -t.Coeff})
-			}
-		}
-		sf.b[row] = rhs
-		rows = append(rows, terms)
-		senses = append(senses, con.Sense)
-	}
-	// Upper-bound rows x' <= ub.
-	for i := range refs {
-		if refs[i].hasUB {
-			row := addRow(-1)
-			sf.b[row] = refs[i].ubRHS
-			rows = append(rows, []rowTerm{{refs[i].pos, 1}})
-			senses = append(senses, LE)
-		}
-	}
-
-	// Slack / surplus columns; then normalize b >= 0.
-	for ri := range rows {
-		switch senses[ri] {
-		case LE:
-			c := addCol(-1, 0, 0)
-			rows[ri] = append(rows[ri], rowTerm{c, 1})
-		case GE:
-			c := addCol(-1, 0, 0)
-			rows[ri] = append(rows[ri], rowTerm{c, -1})
-		}
-	}
-	sf.nRows = len(rows)
-	sf.nCols = len(sf.cols)
-	sf.rowSign = make([]float64, sf.nRows)
-	for ri := range rows {
-		sign := 1.0
-		if sf.b[ri] < 0 {
-			sf.b[ri] = -sf.b[ri]
-			sf.rowNeg[ri] = true
-			sign = -1.0
-			for k := range rows[ri] {
-				rows[ri][k].v = -rows[ri][k].v
-			}
-		}
-		sf.rowSign[ri] = sign
-		for _, t := range rows[ri] {
-			if t.v != 0 {
-				sf.cols[t.col] = append(sf.cols[t.col], entry{row: ri, val: t.v})
-			}
-		}
-	}
-
-	// Objective.
-	sf.c = make([]float64, sf.nCols)
-	objConst := mod.obj.Offset
-	neg := mod.dir == Maximize
-	sf.negObj = neg
-	for _, t := range mod.obj.Terms {
-		coeff := t.Coeff
-		if neg {
-			coeff = -coeff
-		}
-		r := refs[t.Var]
-		mv := sf.maps[r.pos]
-		if mv.scale < 0 {
-			objConst += sign(neg) * t.Coeff * mv.shift
-			sf.c[r.pos] += -coeff
-		} else {
-			objConst += sign(neg) * t.Coeff * r.shift
-			sf.c[r.pos] += coeff
-		}
-		if r.neg >= 0 {
-			sf.c[r.neg] += -coeff
-		}
-	}
-	sf.objConst = objConst
-	return sf
+// SolveWithOptions optimizes the model. Non-optimal but well-defined
+// outcomes (infeasible, unbounded, iteration limit) are reported via
+// Solution.Status with a nil error; use Solution.Err to convert them to
+// typed sentinels. A non-nil error means the solve itself broke down —
+// numerically (wrapping ErrNumerical), by cancellation (wrapping the
+// context error), or by fault injection — and is always a *SolveError
+// carrying partial diagnostics.
+//
+// SolveWithOptions compiles and solves in one shot; callers that
+// re-solve variants of one model should Compile once and use
+// Compiled.Solve with warm starts.
+func SolveWithOptions(mod *Model, opts Options) (*Solution, error) {
+	return Compile(mod).Solve(opts)
 }
 
 func sign(neg bool) float64 {
@@ -258,15 +127,20 @@ func sign(neg bool) float64 {
 
 // simplexState holds the working data of the revised simplex method.
 type simplexState struct {
-	sf    *standardForm
+	cm    *Compiled
 	opts  Options
 	m     int
 	basis []int     // basic column per row (std columns; artificials are >= nCols)
 	binv  []float64 // m x m row-major dense basis inverse
 	xB    []float64 // basic variable values
-	nArt  int
-	inB   []bool // whether std column j is basic
-	iter  int
+	// artSign is the sign of each row's artificial column. Artificials
+	// enter with the sign of the current b so their start value is
+	// nonnegative even after RHS edits turned some b negative.
+	artSign []float64
+	inB     []bool // whether std column j is basic
+	iter    int
+	// Per-phase iteration counters for SolveStats.
+	p1Iters, p2Iters, dualIters int
 	// Diagnostics for SolveError: the phase currently running and the
 	// last phase objective observed.
 	phase   int
@@ -278,21 +152,88 @@ func (st *simplexState) abortErr(cause error) error {
 	return &SolveError{Iterations: st.iter, Phase: st.phase, LastObjective: st.lastObj, Err: cause}
 }
 
-func newSimplexState(sf *standardForm, opts Options) *simplexState {
-	m := sf.nRows
-	st := &simplexState{sf: sf, opts: opts, m: m}
+func newSimplexState(cm *Compiled, opts Options) *simplexState {
+	m := cm.nRows
+	st := &simplexState{cm: cm, opts: opts, m: m}
 	st.basis = make([]int, m)
 	st.binv = make([]float64, m*m)
 	st.xB = make([]float64, m)
-	st.inB = make([]bool, sf.nCols+m)
+	st.artSign = make([]float64, m)
+	st.inB = make([]bool, cm.nCols+m)
 	for i := 0; i < m; i++ {
-		st.basis[i] = sf.nCols + i // artificial i
-		st.binv[i*m+i] = 1
-		st.xB[i] = sf.b[i]
-		st.inB[sf.nCols+i] = true
+		st.artSign[i] = 1
+		if cm.b[i] < 0 {
+			st.artSign[i] = -1
+		}
+		st.basis[i] = cm.nCols + i // artificial i
+		st.binv[i*m+i] = st.artSign[i]
+		st.xB[i] = cm.b[i] * st.artSign[i]
+		st.inB[cm.nCols+i] = true
 	}
-	st.nArt = m
 	return st
+}
+
+// newWarmState builds a state whose basis is the supplied warm basis,
+// extended over rows appended since capture (slack if available, else
+// that row's artificial). It returns nil when the basis cannot apply
+// (stale dimensions, duplicate columns) and the caller should solve
+// cold.
+func newWarmState(cm *Compiled, opts Options, ws *Basis) *simplexState {
+	m := cm.nRows
+	if ws.nRows > m || len(ws.cols) != ws.nRows {
+		return nil
+	}
+	st := &simplexState{cm: cm, opts: opts, m: m}
+	st.basis = make([]int, m)
+	st.binv = make([]float64, m*m)
+	st.xB = make([]float64, m)
+	st.artSign = make([]float64, m)
+	for i := range st.artSign {
+		st.artSign[i] = 1
+	}
+	st.inB = make([]bool, cm.nCols+m)
+	for i := 0; i < ws.nRows; i++ {
+		j := ws.cols[i]
+		if j < 0 {
+			r := -j - 1
+			if r >= m {
+				return nil
+			}
+			j = cm.nCols + r
+		} else if j >= cm.nCols {
+			return nil
+		}
+		if st.inB[j] {
+			return nil
+		}
+		st.basis[i] = j
+		st.inB[j] = true
+	}
+	for i := ws.nRows; i < m; i++ {
+		if sc := cm.slack[i]; sc >= 0 && !st.inB[sc] {
+			st.basis[i] = sc
+			st.inB[sc] = true
+		} else {
+			st.basis[i] = cm.nCols + i
+			st.inB[cm.nCols+i] = true
+		}
+	}
+	return st
+}
+
+// captureBasis encodes the current basis for Solution.Basis.
+// Artificials are encoded by row so the encoding stays valid when
+// columns are appended later.
+func (st *simplexState) captureBasis() *Basis {
+	bs := &Basis{cols: make([]int, st.m), nRows: st.m}
+	for i, j := range st.basis {
+		if j >= st.cm.nCols {
+			bs.cols[i] = -(j - st.cm.nCols) - 1
+		} else {
+			bs.cols[i] = j
+		}
+	}
+	return bs
 }
 
 // colVec materializes std column j (including artificials) densely into dst.
@@ -300,11 +241,12 @@ func (st *simplexState) colVec(j int, dst []float64) {
 	for i := range dst {
 		dst[i] = 0
 	}
-	if j >= st.sf.nCols {
-		dst[j-st.sf.nCols] = 1
+	if j >= st.cm.nCols {
+		r := j - st.cm.nCols
+		dst[r] = st.artSign[r]
 		return
 	}
-	for _, e := range st.sf.cols[j] {
+	for _, e := range st.cm.cols[j] {
 		dst[e.row] = e.val
 	}
 }
@@ -315,14 +257,15 @@ func (st *simplexState) ftran(j int, d []float64) {
 	for i := range d {
 		d[i] = 0
 	}
-	if j >= st.sf.nCols {
-		r := j - st.sf.nCols
+	if j >= st.cm.nCols {
+		r := j - st.cm.nCols
+		s := st.artSign[r]
 		for i := 0; i < m; i++ {
-			d[i] = st.binv[i*m+r]
+			d[i] = st.binv[i*m+r] * s
 		}
 		return
 	}
-	for _, e := range st.sf.cols[j] {
+	for _, e := range st.cm.cols[j] {
 		if e.val == 0 {
 			continue
 		}
@@ -357,7 +300,7 @@ func (st *simplexState) btran(costB, y []float64) {
 // matrix is singular (or a fault hook injected a failure).
 func (st *simplexState) refactor() bool {
 	if h := st.opts.FaultHook; h != nil {
-		if h(FaultEvent{Point: FaultRefactor, Iter: st.iter, Rows: st.sf.nRows, Cols: st.sf.nCols}) != nil {
+		if h(FaultEvent{Point: FaultRefactor, Iter: st.iter, Rows: st.cm.nRows, Cols: st.cm.nCols}) != nil {
 			return false
 		}
 	}
@@ -418,7 +361,7 @@ func (st *simplexState) refactor() bool {
 		s := 0.0
 		row := st.binv[i*m : i*m+m]
 		for j := 0; j < m; j++ {
-			s += row[j] * st.sf.b[j]
+			s += row[j] * st.cm.b[j]
 		}
 		st.xB[i] = s
 	}
@@ -426,7 +369,10 @@ func (st *simplexState) refactor() bool {
 }
 
 // pivot performs the basis change: column enter replaces the basic
-// column in row leaveRow, with direction vector d = binv*A_enter.
+// column in row leaveRow, with direction vector d = binv*A_enter. The
+// basis inverse is updated with the product-form (eta) row operations
+// rather than refactored: the update makes column d into e_leaveRow,
+// which is exactly multiplying binv by the eta matrix of the pivot.
 func (st *simplexState) pivot(enter, leaveRow int, d []float64) {
 	m := st.m
 	pd := d[leaveRow]
@@ -465,20 +411,22 @@ func (st *simplexState) pivot(enter, leaveRow int, d []float64) {
 	st.basis[leaveRow] = enter
 }
 
-// runPhase runs simplex iterations with the given cost vector (length
-// nCols + m where the artificial block carries artCost). It returns the
-// terminal status for this phase.
+// runPhase runs primal simplex iterations with the given cost vector
+// (length nCols + m where the artificial block carries artCost). It
+// returns the terminal status for this phase.
 func (st *simplexState) runPhase(cost []float64, phase1 bool) (Status, error) {
 	m := st.m
-	sf := st.sf
+	cm := st.cm
 	costB := make([]float64, m)
 	y := make([]float64, m)
 	d := make([]float64, m)
 	noImprove := 0
 	lastObj := math.Inf(1)
 	sinceRefactor := 0
+	iters := &st.p2Iters
 	if phase1 {
 		st.phase = 1
+		iters = &st.p1Iters
 	} else {
 		st.phase = 2
 	}
@@ -491,7 +439,7 @@ func (st *simplexState) runPhase(cost []float64, phase1 bool) (Status, error) {
 			}
 		}
 		if h := st.opts.FaultHook; h != nil {
-			if err := h(FaultEvent{Point: FaultIteration, Iter: st.iter, Rows: sf.nRows, Cols: sf.nCols}); err != nil {
+			if err := h(FaultEvent{Point: FaultIteration, Iter: st.iter, Rows: cm.nRows, Cols: cm.nCols}); err != nil {
 				return StatusIterLimit, err
 			}
 		}
@@ -512,12 +460,12 @@ func (st *simplexState) runPhase(cost []float64, phase1 bool) (Status, error) {
 		enter := -1
 		bestRC := -st.opts.OptTol
 		// Price structural + slack columns.
-		for j := 0; j < sf.nCols; j++ {
+		for j := 0; j < cm.nCols; j++ {
 			if st.inB[j] {
 				continue
 			}
 			rc := cost[j]
-			for _, e := range sf.cols[j] {
+			for _, e := range cm.cols[j] {
 				rc -= y[e.row] * e.val
 			}
 			if rc < -st.opts.OptTol {
@@ -598,14 +546,14 @@ func (st *simplexState) runPhase(cost []float64, phase1 bool) (Status, error) {
 				if leave < 0 || st.basis[i] < st.basis[leave] {
 					leave = i
 				}
-			case phase1 && st.basis[i] >= sf.nCols:
+			case phase1 && st.basis[i] >= cm.nCols:
 				// Prefer driving artificials out on ties.
-				if leave < 0 || st.basis[leave] < sf.nCols || d[i] > bestPiv {
+				if leave < 0 || st.basis[leave] < cm.nCols || d[i] > bestPiv {
 					leave = i
 					bestPiv = d[i]
 				}
 			default:
-				if leave >= 0 && phase1 && st.basis[leave] >= sf.nCols {
+				if leave >= 0 && phase1 && st.basis[leave] >= cm.nCols {
 					continue // keep the artificial-leaving row
 				}
 				if d[i] > bestPiv {
@@ -618,6 +566,7 @@ func (st *simplexState) runPhase(cost []float64, phase1 bool) (Status, error) {
 			return StatusIterLimit, ErrNumerical
 		}
 		st.pivot(enter, leave, d)
+		*iters++
 
 		obj := 0.0
 		for i := 0; i < m; i++ {
@@ -634,6 +583,162 @@ func (st *simplexState) runPhase(cost []float64, phase1 bool) (Status, error) {
 	return StatusIterLimit, nil
 }
 
+// runDual runs dual simplex iterations: starting from a basis that is
+// dual feasible for cost but primal infeasible (negative basic
+// values, typically after RHS edits or appended violated cuts), it
+// drives the most negative basic variable out per iteration while
+// keeping reduced costs nonnegative. StatusOptimal means primal
+// feasibility was restored (the caller still polishes with a primal
+// phase 2); StatusInfeasible means a row proved the LP infeasible —
+// callers on the warm path treat that as a cold-solve fallback rather
+// than trusting the warm basis with the verdict.
+func (st *simplexState) runDual(cost []float64) (Status, error) {
+	m := st.m
+	cm := st.cm
+	costB := make([]float64, m)
+	y := make([]float64, m)
+	d := make([]float64, m)
+	rho := make([]float64, m)
+	st.phase = 3
+	sinceRefactor := 0
+	stall := 0
+	lastWorst := math.Inf(-1)
+	for ; st.iter < st.opts.MaxIter; st.iter++ {
+		if st.iter%ctxCheckPeriod == 0 {
+			if err := st.opts.ctxErr(); err != nil {
+				return StatusIterLimit, err
+			}
+		}
+		if h := st.opts.FaultHook; h != nil {
+			if err := h(FaultEvent{Point: FaultIteration, Iter: st.iter, Rows: cm.nRows, Cols: cm.nCols}); err != nil {
+				return StatusIterLimit, err
+			}
+		}
+		if sinceRefactor >= st.opts.RefactorEvery {
+			if !st.refactor() {
+				return StatusIterLimit, ErrNumerical
+			}
+			sinceRefactor = 0
+		}
+		sinceRefactor++
+
+		// Leaving row: the most negative basic value.
+		r := -1
+		worst := -st.opts.FeasTol
+		for i := 0; i < m; i++ {
+			if st.xB[i] < worst {
+				worst = st.xB[i]
+				r = i
+			}
+		}
+		if r < 0 {
+			return StatusOptimal, nil
+		}
+		// Degenerate dual steps make no progress on the worst
+		// infeasibility; rather than carry a dual Bland rule, give the
+		// loop a generous stall budget and hand persistent cycling back
+		// to the cold solver.
+		if worst > lastWorst+1e-12 {
+			stall = 0
+		} else if stall++; stall > st.opts.BlandTrigger {
+			return StatusIterLimit, ErrNumerical
+		}
+		lastWorst = worst
+
+		for i := 0; i < m; i++ {
+			costB[i] = cost[st.basis[i]]
+		}
+		st.btran(costB, y)
+		copy(rho, st.binv[r*m:r*m+m])
+
+		// Entering column: among columns with a negative pivot-row
+		// entry, the minimal reduced-cost ratio keeps dual feasibility;
+		// near-ties prefer the larger pivot for stability. Artificials
+		// never enter — they are phase-1 scaffolding, not LP columns.
+		const pivTol = 1e-8
+		enter := -1
+		bestRatio := math.Inf(1)
+		bestPiv := 0.0
+		for j := 0; j < cm.nCols; j++ {
+			if st.inB[j] {
+				continue
+			}
+			alpha := 0.0
+			rc := cost[j]
+			for _, e := range cm.cols[j] {
+				alpha += rho[e.row] * e.val
+				rc -= y[e.row] * e.val
+			}
+			if alpha >= -pivTol {
+				continue
+			}
+			if rc < 0 {
+				rc = 0 // clamp within-tolerance dual infeasibility
+			}
+			ratio := rc / -alpha
+			if ratio < bestRatio-1e-12 || (ratio <= bestRatio+1e-12 && -alpha > bestPiv) {
+				bestRatio = ratio
+				bestPiv = -alpha
+				enter = j
+			}
+		}
+		if enter < 0 {
+			// No admissible pivot in a negative row proves the LP
+			// infeasible — but only on a fresh basis inverse.
+			if sinceRefactor > 1 {
+				if !st.refactor() {
+					return StatusIterLimit, ErrNumerical
+				}
+				sinceRefactor = 1
+				continue
+			}
+			return StatusInfeasible, nil
+		}
+		st.ftran(enter, d)
+		if d[r] >= -1e-10 {
+			// The dense row disagrees with the ftran column: drift.
+			if sinceRefactor > 1 {
+				if !st.refactor() {
+					return StatusIterLimit, ErrNumerical
+				}
+				sinceRefactor = 1
+				continue
+			}
+			return StatusIterLimit, ErrNumerical
+		}
+		st.pivot(enter, r, d)
+		st.dualIters++
+	}
+	return StatusIterLimit, nil
+}
+
+// dualFeasible reports whether every nonbasic structural/slack column
+// has a reduced cost above -tol, i.e. the basis is usable as a dual
+// simplex start.
+func (st *simplexState) dualFeasible(cost []float64, tol float64) bool {
+	m := st.m
+	cm := st.cm
+	costB := make([]float64, m)
+	y := make([]float64, m)
+	for i := 0; i < m; i++ {
+		costB[i] = cost[st.basis[i]]
+	}
+	st.btran(costB, y)
+	for j := 0; j < cm.nCols; j++ {
+		if st.inB[j] {
+			continue
+		}
+		rc := cost[j]
+		for _, e := range cm.cols[j] {
+			rc -= y[e.row] * e.val
+		}
+		if rc < -tol {
+			return false
+		}
+	}
+	return true
+}
+
 // driveOutArtificials pivots remaining zero-level artificials out of
 // the basis where possible. Rows where no structural pivot exists are
 // redundant; their artificial stays basic at zero.
@@ -641,18 +746,18 @@ func (st *simplexState) driveOutArtificials() {
 	m := st.m
 	d := make([]float64, m)
 	for i := 0; i < m; i++ {
-		if st.basis[i] < st.sf.nCols {
+		if st.basis[i] < st.cm.nCols {
 			continue
 		}
 		// Find a nonbasic structural column with nonzero entry in row i
 		// of binv*A.
 		found := -1
-		for j := 0; j < st.sf.nCols && found < 0; j++ {
+		for j := 0; j < st.cm.nCols && found < 0; j++ {
 			if st.inB[j] {
 				continue
 			}
 			v := 0.0
-			for _, e := range st.sf.cols[j] {
+			for _, e := range st.cm.cols[j] {
 				v += st.binv[i*m+e.row] * e.val
 			}
 			if math.Abs(v) > 1e-7 {
@@ -667,89 +772,209 @@ func (st *simplexState) driveOutArtificials() {
 	}
 }
 
-// SolveWithOptions optimizes the model. Non-optimal but well-defined
-// outcomes (infeasible, unbounded, iteration limit) are reported via
-// Solution.Status with a nil error; use Solution.Err to convert them to
-// typed sentinels. A non-nil error means the solve itself broke down —
-// numerically (wrapping ErrNumerical), by cancellation (wrapping the
-// context error), or by fault injection — and is always a *SolveError
-// carrying partial diagnostics.
-func SolveWithOptions(mod *Model, opts Options) (*Solution, error) {
-	sf := toStandard(mod)
-	opts = opts.withDefaults(sf.nRows, sf.nCols)
-	st := newSimplexState(sf, opts)
+// phase2Cost builds the phase-2 cost vector (structural costs, zero
+// artificials).
+func (cm *Compiled) phase2Cost() []float64 {
+	cost := make([]float64, cm.nCols+cm.nRows)
+	copy(cost, cm.c)
+	return cost
+}
+
+// Solve optimizes the compiled model. See SolveWithOptions for the
+// status/error contract. With Options.WarmStart set, the supplied
+// basis seeds the solve; the warm path falls back to a cold solve on
+// any doubt (singular or dual-infeasible basis, numerical trouble, a
+// non-optimal warm outcome), so warm and cold solves always agree on
+// the result.
+func (cm *Compiled) Solve(opts Options) (*Solution, error) {
+	startTime := time.Now()
+	opts = opts.withDefaults(cm.nRows, cm.nCols)
+	stats := SolveStats{CompileTime: cm.CompileTime}
+
 	if err := opts.ctxErr(); err != nil {
+		st := &simplexState{}
 		return nil, st.abortErr(err)
 	}
 	if h := opts.FaultHook; h != nil {
-		if err := h(FaultEvent{Point: FaultSolveStart, Rows: sf.nRows, Cols: sf.nCols}); err != nil {
+		if err := h(FaultEvent{Point: FaultSolveStart, Rows: cm.nRows, Cols: cm.nCols}); err != nil {
+			st := &simplexState{}
 			return nil, st.abortErr(err)
 		}
 	}
 
+	if opts.WarmStart != nil {
+		stats.WarmStarted = true
+		if st := newWarmState(cm, opts, opts.WarmStart); st != nil {
+			sol, err := cm.solveWarm(st)
+			if err != nil && !errors.Is(err, ErrNumerical) {
+				// Cancellation or fault injection must surface, not
+				// silently degrade to a cold solve.
+				return nil, st.abortErr(err)
+			}
+			if err == nil && sol != nil {
+				stats.WarmHit = true
+				stats.Phase1Iters, stats.Phase2Iters, stats.DualIters = st.p1Iters, st.p2Iters, st.dualIters
+				stats.SolveTime = time.Since(startTime)
+				sol.Stats = stats
+				return sol, nil
+			}
+		}
+	}
+
+	st := newSimplexState(cm, opts)
 	solveOnce := func() (*Solution, error) {
 		// Phase 1.
-		cost1 := make([]float64, sf.nCols+st.m)
+		cost1 := make([]float64, cm.nCols+st.m)
 		for i := 0; i < st.m; i++ {
-			cost1[sf.nCols+i] = 1
+			cost1[cm.nCols+i] = 1
 		}
 		status, err := st.runPhase(cost1, true)
 		if err != nil {
 			return nil, err
 		}
 		if status != StatusOptimal {
-			return &Solution{Status: status, model: mod}, nil
+			return &Solution{Status: status, model: cm.model}, nil
 		}
 		infeas := 0.0
 		for i := 0; i < st.m; i++ {
-			if st.basis[i] >= sf.nCols {
+			if st.basis[i] >= cm.nCols {
 				infeas += st.xB[i]
 			}
 		}
 		if infeas > 1e-6 {
-			return &Solution{Status: StatusInfeasible, model: mod}, nil
+			return &Solution{Status: StatusInfeasible, model: cm.model}, nil
 		}
 		st.driveOutArtificials()
 
 		// Phase 2.
-		cost2 := make([]float64, sf.nCols+st.m)
-		copy(cost2, sf.c)
+		cost2 := cm.phase2Cost()
 		status, err = st.runPhase(cost2, false)
 		if err != nil {
 			return nil, err
 		}
-		return st.extract(mod, status, cost2), nil
+		return st.extract(status, cost2), nil
 	}
 
 	sol, err := solveOnce()
 	if errors.Is(err, ErrNumerical) && opts.ctxErr() == nil {
 		// One full retry with tighter refactorization.
 		opts.RefactorEvery = 50
-		st = newSimplexState(sf, opts)
+		st = newSimplexState(cm, opts)
 		sol, err = solveOnce()
 	}
 	if err != nil {
 		return nil, st.abortErr(err)
 	}
+	stats.Phase1Iters, stats.Phase2Iters, stats.DualIters = st.p1Iters, st.p2Iters, st.dualIters
+	stats.SolveTime = time.Since(startTime)
+	sol.Stats = stats
 	return sol, nil
 }
 
-func (st *simplexState) extract(mod *Model, status Status, cost []float64) *Solution {
-	sf := st.sf
-	sol := &Solution{Status: status, model: mod}
+// solveWarm runs the warm-start pipeline on an installed basis:
+// refactor, restore primal feasibility (dual simplex after RHS edits
+// and appended inequality cuts; a warm phase 1 when appended equality
+// rows left artificials carrying value), then primal phase 2. A (nil,
+// nil) return means the basis was unusable and the caller should
+// solve cold; an ErrNumerical return degrades the same way.
+func (cm *Compiled) solveWarm(st *simplexState) (*Solution, error) {
+	if !st.refactor() {
+		return nil, nil
+	}
+	m := st.m
+	// Normalize artificial signs so every basic artificial sits at a
+	// nonnegative value: flipping an artificial column's sign scales
+	// the matching binv row and basic value by -1.
+	for i := 0; i < m; i++ {
+		if j := st.basis[i]; j >= cm.nCols && st.xB[i] < 0 {
+			r := j - cm.nCols
+			st.artSign[r] = -st.artSign[r]
+			row := st.binv[i*m : i*m+m]
+			for k := range row {
+				row[k] = -row[k]
+			}
+			st.xB[i] = -st.xB[i]
+		}
+	}
+
+	artBad, primalBad := false, false
+	for i := 0; i < m; i++ {
+		if st.basis[i] >= cm.nCols {
+			if st.xB[i] > 1e-6 {
+				artBad = true
+			}
+		} else if st.xB[i] < -st.opts.FeasTol {
+			primalBad = true
+		}
+	}
+	cost2 := cm.phase2Cost()
+	switch {
+	case artBad && primalBad:
+		// Mixed damage (appended EQ rows plus RHS edits on the same
+		// basis); rare enough that the cold path is the simpler proof.
+		return nil, nil
+	case artBad:
+		// Appended equality rows: a warm phase 1 drives the new
+		// artificials to zero from an already-feasible start.
+		cost1 := make([]float64, cm.nCols+m)
+		for i := 0; i < m; i++ {
+			cost1[cm.nCols+i] = 1
+		}
+		status, err := st.runPhase(cost1, true)
+		if err != nil {
+			return nil, err
+		}
+		if status != StatusOptimal {
+			return nil, nil
+		}
+		infeas := 0.0
+		for i := 0; i < m; i++ {
+			if st.basis[i] >= cm.nCols {
+				infeas += st.xB[i]
+			}
+		}
+		if infeas > 1e-6 {
+			return nil, nil // let the cold solve confirm infeasibility
+		}
+		st.driveOutArtificials()
+	case primalBad:
+		if !st.dualFeasible(cost2, 1e-7) {
+			return nil, nil
+		}
+		status, err := st.runDual(cost2)
+		if err != nil {
+			return nil, err
+		}
+		if status != StatusOptimal {
+			return nil, nil
+		}
+	}
+	status, err := st.runPhase(cost2, false)
+	if err != nil {
+		return nil, err
+	}
+	if status != StatusOptimal && status != StatusUnbounded {
+		return nil, nil
+	}
+	return st.extract(status, cost2), nil
+}
+
+func (st *simplexState) extract(status Status, cost []float64) *Solution {
+	cm := st.cm
+	sol := &Solution{Status: status, model: cm.model}
 	if status != StatusOptimal && status != StatusIterLimit {
 		return sol
 	}
-	xStd := make([]float64, sf.nCols)
+	xStd := make([]float64, cm.nCols)
 	for i, j := range st.basis {
-		if j < sf.nCols {
+		if j < cm.nCols {
 			xStd[j] = st.xB[i]
 		}
 	}
-	vals := make([]float64, mod.NumVars())
-	seen := make([]bool, mod.NumVars())
-	for j := 0; j < sf.nCols; j++ {
-		mp := sf.maps[j]
+	vals := make([]float64, cm.nModel)
+	seen := make([]bool, cm.nModel)
+	for j := 0; j < cm.nCols; j++ {
+		mp := cm.maps[j]
 		if mp.v < 0 {
 			continue
 		}
@@ -760,13 +985,13 @@ func (st *simplexState) extract(mod *Model, status Status, cost []float64) *Solu
 		vals[mp.v] += mp.scale * xStd[j]
 	}
 	sol.values = vals
-	obj := mod.obj.Offset
-	for _, t := range mod.obj.Terms {
+	obj := cm.obj.Offset
+	for _, t := range cm.obj.Terms {
 		obj += t.Coeff * vals[t.Var]
 	}
 	sol.Objective = obj
 
-	// Duals: y = costB' * binv, mapped back to model rows.
+	// Duals: y = costB' * binv, mapped back to logical rows.
 	m := st.m
 	costB := make([]float64, m)
 	for i := 0; i < m; i++ {
@@ -774,18 +999,21 @@ func (st *simplexState) extract(mod *Model, status Status, cost []float64) *Solu
 	}
 	y := make([]float64, m)
 	st.btran(costB, y)
-	duals := make([]float64, mod.NumConstraints())
+	duals := make([]float64, cm.nLogical)
 	for r := 0; r < m; r++ {
-		mr := sf.rowOf[r]
-		if mr < 0 {
+		lr := cm.rowOf[r]
+		if lr < 0 {
 			continue
 		}
-		v := y[r] * sf.rowSign[r]
-		if sf.negObj {
+		v := y[r] * cm.rowSign[r]
+		if cm.negObj {
 			v = -v
 		}
-		duals[mr] = v
+		duals[lr] = v
 	}
 	sol.duals = duals
+	if status == StatusOptimal {
+		sol.Basis = st.captureBasis()
+	}
 	return sol
 }

@@ -1,0 +1,188 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// buildCapModel builds a small capacitated-flow-shaped LP:
+// maximize z with per-"arc" usage bounded by capacity rows whose RHS
+// the tests then toggle, mimicking the mcf scenario sweep.
+func buildCapModel(t *testing.T) (*Model, Var, []int) {
+	t.Helper()
+	m := NewModel()
+	z := m.AddNonNeg("z")
+	x := make([]Var, 4)
+	for i := range x {
+		x[i] = m.AddNonNegN(Pat("x[%d]").N(i))
+	}
+	// Two "paths" carrying z: x0+x1 and x2+x3.
+	m.AddConstraint("p1", NewExpr().Add(1, x[0]).Add(-1, x[1]), EQ, 0)
+	m.AddConstraint("p2", NewExpr().Add(1, x[2]).Add(-1, x[3]), EQ, 0)
+	m.AddConstraint("carry", NewExpr().Add(1, x[0]).Add(1, x[2]).Add(-1, z), GE, 0)
+	caps := make([]int, 4)
+	for i := range x {
+		caps[i] = m.AddConstraint("cap", NewExpr().Add(1, x[i]), LE, float64(3+i))
+	}
+	m.SetObjective(NewExpr().Add(1, z), Maximize)
+	return m, z, caps
+}
+
+func TestWarmSameRHSNoWork(t *testing.T) {
+	m, _, _ := buildCapModel(t)
+	cm := Compile(m)
+	sol, err := cm.Solve(Options{})
+	if err != nil || sol.Status != StatusOptimal {
+		t.Fatalf("cold solve: %v status %v", err, sol.Status)
+	}
+	if sol.Basis == nil {
+		t.Fatal("optimal solution missing basis")
+	}
+	warm, err := cm.Solve(Options{WarmStart: sol.Basis})
+	if err != nil || warm.Status != StatusOptimal {
+		t.Fatalf("warm solve: %v status %v", err, warm.Status)
+	}
+	if !warm.Stats.WarmHit {
+		t.Fatal("unchanged re-solve did not take the warm path")
+	}
+	if math.Abs(warm.Objective-sol.Objective) > 1e-9*(1+math.Abs(sol.Objective)) {
+		t.Fatalf("warm objective %g != cold %g", warm.Objective, sol.Objective)
+	}
+	if it := warm.Stats.Iterations(); it > 2 {
+		t.Fatalf("unchanged warm re-solve took %d iterations", it)
+	}
+}
+
+func TestWarmAfterRHSToggle(t *testing.T) {
+	m, _, caps := buildCapModel(t)
+	cm := Compile(m)
+	sol, err := cm.Solve(Options{})
+	if err != nil || sol.Status != StatusOptimal {
+		t.Fatalf("cold solve: %v status %v", err, sol.Status)
+	}
+	basis := sol.Basis
+	// Toggle each capacity to zero and back, comparing warm vs cold.
+	for _, row := range caps {
+		saved := cm.RowRHS(row)
+		cm.SetRowRHS(row, 0)
+		warm, err := cm.Solve(Options{WarmStart: basis})
+		if err != nil || warm.Status != StatusOptimal {
+			t.Fatalf("warm solve row %d: %v status %v", row, err, warm.Status)
+		}
+		cold, err := cm.Solve(Options{})
+		if err != nil || cold.Status != StatusOptimal {
+			t.Fatalf("cold solve row %d: %v status %v", row, err, cold.Status)
+		}
+		if math.Abs(warm.Objective-cold.Objective) > 1e-9*(1+math.Abs(cold.Objective)) {
+			t.Fatalf("row %d: warm %g != cold %g", row, warm.Objective, cold.Objective)
+		}
+		if !warm.Stats.WarmHit {
+			t.Errorf("row %d: warm start fell back to cold", row)
+		}
+		cm.SetRowRHS(row, saved)
+	}
+}
+
+func TestWarmAfterAddRow(t *testing.T) {
+	m, z, _ := buildCapModel(t)
+	cm := Compile(m)
+	sol, err := cm.Solve(Options{})
+	if err != nil || sol.Status != StatusOptimal {
+		t.Fatalf("cold solve: %v status %v", err, sol.Status)
+	}
+	// Append a violated cut: z <= half its current optimum.
+	cut := sol.Objective / 2
+	cm.AddRow(Lit("cut"), NewExpr().Add(1, z), LE, cut)
+	warm, err := cm.Solve(Options{WarmStart: sol.Basis})
+	if err != nil || warm.Status != StatusOptimal {
+		t.Fatalf("warm solve: %v status %v", err, warm.Status)
+	}
+	if !warm.Stats.WarmHit {
+		t.Error("appended-row warm start fell back to cold")
+	}
+	if math.Abs(warm.Objective-cut) > 1e-9*(1+cut) {
+		t.Fatalf("warm objective %g, want %g", warm.Objective, cut)
+	}
+	// An equivalent model built from scratch must agree.
+	m2, z2, _ := buildCapModel(t)
+	m2.AddConstraint("cut", NewExpr().Add(1, z2), LE, cut)
+	cold, err := Solve(m2)
+	if err != nil || cold.Status != StatusOptimal {
+		t.Fatalf("fresh cold solve: %v status %v", err, cold.Status)
+	}
+	if math.Abs(warm.Objective-cold.Objective) > 1e-9*(1+math.Abs(cold.Objective)) {
+		t.Fatalf("warm %g != fresh cold %g", warm.Objective, cold.Objective)
+	}
+}
+
+func TestWarmAfterFixVar(t *testing.T) {
+	m, z, _ := buildCapModel(t)
+	cm := Compile(m)
+	sol, err := cm.Solve(Options{})
+	if err != nil || sol.Status != StatusOptimal {
+		t.Fatalf("cold solve: %v status %v", err, sol.Status)
+	}
+	want := sol.Objective / 3
+	row := cm.FixVar(z, want)
+	warm, err := cm.Solve(Options{WarmStart: sol.Basis})
+	if err != nil || warm.Status != StatusOptimal {
+		t.Fatalf("warm solve: %v status %v", err, warm.Status)
+	}
+	if math.Abs(warm.Objective-want) > 1e-9*(1+want) {
+		t.Fatalf("fixed objective %g, want %g", warm.Objective, want)
+	}
+	// Updating the pin reuses the same row and the dual-simplex path.
+	want2 := sol.Objective / 4
+	if r2 := cm.FixVar(z, want2); r2 != row {
+		t.Fatalf("FixVar added row %d, want reuse of %d", r2, row)
+	}
+	warm2, err := cm.Solve(Options{WarmStart: warm.Basis})
+	if err != nil || warm2.Status != StatusOptimal {
+		t.Fatalf("warm re-fix solve: %v status %v", err, warm2.Status)
+	}
+	if math.Abs(warm2.Objective-want2) > 1e-9*(1+want2) {
+		t.Fatalf("re-fixed objective %g, want %g", warm2.Objective, want2)
+	}
+}
+
+func TestWarmInfeasibleRHSFallsBackConsistently(t *testing.T) {
+	// Force an infeasible system via RHS edits: x <= 1 with x >= 2.
+	m := NewModel()
+	x := m.AddNonNeg("x")
+	up := m.AddConstraint("up", NewExpr().Add(1, x), LE, 5)
+	m.AddConstraint("low", NewExpr().Add(1, x), GE, 2)
+	m.SetObjective(NewExpr().Add(1, x), Maximize)
+	cm := Compile(m)
+	sol, err := cm.Solve(Options{})
+	if err != nil || sol.Status != StatusOptimal {
+		t.Fatalf("cold solve: %v status %v", err, sol.Status)
+	}
+	cm.SetRowRHS(up, 1)
+	warm, err := cm.Solve(Options{WarmStart: sol.Basis})
+	if err != nil {
+		t.Fatalf("warm solve: %v", err)
+	}
+	if warm.Status != StatusInfeasible {
+		t.Fatalf("status %v, want infeasible", warm.Status)
+	}
+}
+
+func TestLazyNameRendering(t *testing.T) {
+	p := Pat("bal[t%d,v%d]")
+	if got := p.N(3, 17).String(); got != "bal[t3,v17]" {
+		t.Fatalf("rendered %q", got)
+	}
+	if got := Lit("plain").String(); got != "plain" {
+		t.Fatalf("rendered %q", got)
+	}
+	if got := Pat("z").N().String(); got != "z" {
+		t.Fatalf("rendered %q", got)
+	}
+	if got := Pat("p[t%d,(%d->%d)]").N(2, 4, 9).String(); got != "p[t2,(4->9)]" {
+		t.Fatalf("rendered %q", got)
+	}
+	// Negative arguments must render like %d.
+	if got := Pat("o[%d]").N(-7).String(); got != "o[-7]" {
+		t.Fatalf("rendered %q", got)
+	}
+}

@@ -8,18 +8,32 @@
 // demands.
 //
 // Flows are aggregated per destination, so the LP has O(V·E) variables
-// rather than O(V^2·E).
+// rather than O(V^2·E). The scenario sweep compiles the base MCF once
+// and re-solves each scenario by zeroing the dead arcs' capacity rows
+// with a warm basis (DESIGN.md §11), sweeping scenarios across a
+// runtime.NumCPU()-bounded worker pool.
 package mcf
 
 import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"pcf/internal/failures"
 	"pcf/internal/lp"
 	"pcf/internal/topology"
 	"pcf/internal/traffic"
+)
+
+var (
+	flowPat = lp.Pat("f[t%d,a%d]")
+	bwPat   = lp.Pat("bw[%d,%d]")
+	balPat  = lp.Pat("bal[t%d,v%d]")
+	capPat  = lp.Pat("cap[a%d]")
 )
 
 // Result reports an optimal flow.
@@ -50,7 +64,23 @@ func MaxThroughput(g *topology.Graph, tm *traffic.Matrix, dead map[topology.Link
 	return solveFlow(nil, g, tm, dead, false)
 }
 
-func solveFlow(ctx context.Context, g *topology.Graph, tm *traffic.Matrix, dead map[topology.LinkID]bool, concurrent bool) (*Result, error) {
+// flowModel is a built (not yet compiled) MCF model plus the handles
+// needed to extract flows and to toggle per-arc capacity rows.
+type flowModel struct {
+	m       *lp.Model
+	flow    map[topology.NodeID][]lp.Var
+	z       lp.Var
+	bw      map[topology.Pair]lp.Var
+	dsts    []topology.NodeID
+	numArcs int
+	capRow  []int // logical capacity row per arc, or -1
+}
+
+// buildFlow assembles the MCF model. Dead arcs are omitted as
+// variables; the scenario sweep instead builds with dead == nil and
+// disables arcs by zeroing their capacity rows, which keeps one
+// compiled layout valid for every scenario.
+func buildFlow(g *topology.Graph, tm *traffic.Matrix, dead map[topology.LinkID]bool, concurrent bool) (*flowModel, error) {
 	if tm.N() != g.NumNodes() {
 		return nil, fmt.Errorf("mcf: matrix is %dx%d but graph has %d nodes", tm.N(), tm.N(), g.NumNodes())
 	}
@@ -66,14 +96,14 @@ func solveFlow(ctx context.Context, g *topology.Graph, tm *traffic.Matrix, dead 
 			dsts = append(dsts, topology.NodeID(t))
 		}
 	}
+	fm := &flowModel{m: lp.NewModel(), dsts: dsts, numArcs: g.NumArcs(), z: -1}
 	if len(dsts) == 0 {
-		return &Result{Objective: math.Inf(1), FlowTo: map[topology.NodeID][]float64{}}, nil
+		return fm, nil
 	}
 
-	m := lp.NewModel()
-	// Arc flow variables per destination. Dead arcs are omitted.
-	numArcs := g.NumArcs()
-	flow := make(map[topology.NodeID][]lp.Var, len(dsts))
+	m := fm.m
+	numArcs := fm.numArcs
+	fm.flow = make(map[topology.NodeID][]lp.Var, len(dsts))
 	liveArc := make([]bool, numArcs)
 	for a := 0; a < numArcs; a++ {
 		liveArc[a] = dead == nil || !dead[topology.LinkOf(topology.ArcID(a))]
@@ -82,24 +112,23 @@ func solveFlow(ctx context.Context, g *topology.Graph, tm *traffic.Matrix, dead 
 		vars := make([]lp.Var, numArcs)
 		for a := 0; a < numArcs; a++ {
 			if liveArc[a] {
-				vars[a] = m.AddNonNeg(fmt.Sprintf("f[t%d,a%d]", t, a))
+				vars[a] = m.AddNonNegN(flowPat.N(int(t), a))
 			} else {
 				vars[a] = -1
 			}
 		}
-		flow[t] = vars
+		fm.flow[t] = vars
 	}
 
-	var z lp.Var
-	bw := make(map[topology.Pair]lp.Var)
 	if concurrent {
-		z = m.AddNonNeg("z")
+		fm.z = m.AddNonNeg("z")
 	} else {
+		fm.bw = make(map[topology.Pair]lp.Var)
 		for s := 0; s < n; s++ {
 			for t := 0; t < n; t++ {
 				if d := tm.Demand[s][t]; d > 0 {
 					p := topology.Pair{Src: topology.NodeID(s), Dst: topology.NodeID(t)}
-					bw[p] = m.AddVar(fmt.Sprintf("bw[%d,%d]", s, t), 0, d)
+					fm.bw[p] = m.AddVarN(bwPat.N(s, t), 0, d)
 				}
 			}
 		}
@@ -108,7 +137,7 @@ func solveFlow(ctx context.Context, g *topology.Graph, tm *traffic.Matrix, dead 
 	// Flow balance at every node v != t for each destination t:
 	//   out(v) - in(v) = scaled demand from v to t.
 	for _, t := range dsts {
-		vars := flow[t]
+		vars := fm.flow[t]
 		for v := 0; v < n; v++ {
 			if topology.NodeID(v) == t {
 				continue
@@ -127,66 +156,87 @@ func solveFlow(ctx context.Context, g *topology.Graph, tm *traffic.Matrix, dead 
 			d := tm.Demand[v][t]
 			if concurrent {
 				if d > 0 {
-					e.Add(-d, z)
+					e.Add(-d, fm.z)
 				}
-				m.AddConstraint(fmt.Sprintf("bal[t%d,v%d]", t, v), e, lp.EQ, 0)
-			} else {
-				if d > 0 {
-					p := topology.Pair{Src: topology.NodeID(v), Dst: t}
-					e.Add(-1, bw[p])
-				}
-				m.AddConstraint(fmt.Sprintf("bal[t%d,v%d]", t, v), e, lp.EQ, 0)
+			} else if d > 0 {
+				p := topology.Pair{Src: topology.NodeID(v), Dst: t}
+				e.Add(-1, fm.bw[p])
 			}
+			m.AddConstraintN(balPat.N(int(t), v), e, lp.EQ, 0)
 		}
 	}
 	// Arc capacities across destinations.
+	fm.capRow = make([]int, numArcs)
 	for a := 0; a < numArcs; a++ {
+		fm.capRow[a] = -1
 		if !liveArc[a] {
 			continue
 		}
 		e := lp.NewExpr()
 		for _, t := range dsts {
-			if flow[t][a] >= 0 {
-				e.Add(1, flow[t][a])
+			if fm.flow[t][a] >= 0 {
+				e.Add(1, fm.flow[t][a])
 			}
 		}
 		if len(e.Terms) == 0 {
 			continue
 		}
-		m.AddConstraint(fmt.Sprintf("cap[a%d]", a), e, lp.LE, g.ArcCapacity(topology.ArcID(a)))
+		fm.capRow[a] = m.AddConstraintN(capPat.N(a), e, lp.LE, g.ArcCapacity(topology.ArcID(a)))
 	}
 
 	obj := lp.NewExpr()
 	if concurrent {
-		obj.Add(1, z)
+		obj.Add(1, fm.z)
 	} else {
-		for _, v := range bw {
+		for _, v := range fm.bw {
 			obj.Add(1, v)
 		}
 	}
 	m.SetObjective(obj, lp.Maximize)
+	return fm, nil
+}
 
-	sol, err := lp.SolveWithOptions(m, lp.Options{Context: ctx})
+// objectiveOf maps a solve status to the sweep's objective
+// convention: infeasible means a disconnected demand (objective 0),
+// unbounded means no binding demand (+Inf).
+func objectiveOf(sol *lp.Solution) (float64, error) {
+	switch sol.Status {
+	case lp.StatusOptimal:
+		return sol.Objective, nil
+	case lp.StatusInfeasible:
+		return 0, nil
+	case lp.StatusUnbounded:
+		return math.Inf(1), nil
+	default:
+		return 0, fmt.Errorf("mcf: %w", sol.Err())
+	}
+}
+
+func solveFlow(ctx context.Context, g *topology.Graph, tm *traffic.Matrix, dead map[topology.LinkID]bool, concurrent bool) (*Result, error) {
+	fm, err := buildFlow(g, tm, dead, concurrent)
+	if err != nil {
+		return nil, err
+	}
+	if len(fm.dsts) == 0 {
+		return &Result{Objective: math.Inf(1), FlowTo: map[topology.NodeID][]float64{}}, nil
+	}
+	sol, err := lp.SolveWithOptions(fm.m, lp.Options{Context: ctx})
 	if err != nil {
 		return nil, fmt.Errorf("mcf: %w", err)
 	}
-	switch sol.Status {
-	case lp.StatusOptimal:
-	case lp.StatusInfeasible:
-		// Happens when a demand source is disconnected from its
-		// destination: no positive concurrent scale exists.
-		return &Result{Objective: 0, FlowTo: map[topology.NodeID][]float64{}}, nil
-	case lp.StatusUnbounded:
-		return &Result{Objective: math.Inf(1), FlowTo: map[topology.NodeID][]float64{}}, nil
-	default:
-		return nil, fmt.Errorf("mcf: %w", sol.Err())
+	obj, err := objectiveOf(sol)
+	if err != nil {
+		return nil, err
 	}
-	res := &Result{Objective: sol.Objective, FlowTo: make(map[topology.NodeID][]float64, len(dsts))}
-	for _, t := range dsts {
-		fv := make([]float64, numArcs)
-		for a := 0; a < numArcs; a++ {
-			if flow[t][a] >= 0 {
-				fv[a] = sol.Value(flow[t][a])
+	if sol.Status != lp.StatusOptimal {
+		return &Result{Objective: obj, FlowTo: map[topology.NodeID][]float64{}}, nil
+	}
+	res := &Result{Objective: obj, FlowTo: make(map[topology.NodeID][]float64, len(fm.dsts))}
+	for _, t := range fm.dsts {
+		fv := make([]float64, fm.numArcs)
+		for a := 0; a < fm.numArcs; a++ {
+			if fm.flow[t][a] >= 0 {
+				fv[a] = sol.Value(fm.flow[t][a])
 			}
 		}
 		res.FlowTo[t] = fv
@@ -207,6 +257,33 @@ func MinMLU(g *topology.Graph, tm *traffic.Matrix) (float64, error) {
 	return 1 / res.Objective, nil
 }
 
+// SweepStats reports how a scenario sweep went.
+type SweepStats struct {
+	// Scenarios is the number of failure scenarios solved; Workers the
+	// goroutines that swept them.
+	Scenarios int
+	Workers   int
+	// WarmHits counts scenario solves served by the warm-start path;
+	// ColdSolves counts full cold solves (including the base solve
+	// that seeds the bases).
+	WarmHits   int
+	ColdSolves int
+	// LPIterations totals simplex iterations across all solves.
+	LPIterations int
+	// CompileTime is the one-time model compilation cost; Total the
+	// wall clock of the whole sweep.
+	CompileTime time.Duration
+	Total       time.Duration
+}
+
+// WarmHitRate is the fraction of scenario solves served warm.
+func (s SweepStats) WarmHitRate() float64 {
+	if s.Scenarios == 0 {
+		return 0
+	}
+	return float64(s.WarmHits) / float64(s.Scenarios)
+}
+
 // OptimalUnderFailures computes the intrinsic network capability for
 // the demand-scale metric: the worst over all scenarios in fs of the
 // optimal per-scenario concurrent flow. It also returns the worst
@@ -219,31 +296,173 @@ func OptimalUnderFailures(g *topology.Graph, tm *traffic.Matrix, fs *failures.Se
 // context: the deadline is checked before every scenario's solve and
 // inside each solve's simplex loop. A nil ctx means no bound.
 func OptimalUnderFailuresContext(ctx context.Context, g *topology.Graph, tm *traffic.Matrix, fs *failures.Set) (float64, failures.Scenario, error) {
-	worst := math.Inf(1)
-	var worstSc failures.Scenario
-	var solveErr error
+	worst, sc, _, err := OptimalUnderFailuresStats(ctx, g, tm, fs)
+	return worst, sc, err
+}
+
+// OptimalUnderFailuresStats is OptimalUnderFailuresContext, also
+// reporting sweep statistics. The base MCF is compiled once; each
+// scenario re-solves it with the dead arcs' capacity rows zeroed,
+// warm-started from the worker's previous basis. Scenarios are
+// pre-enumerated and swept by up to runtime.NumCPU() workers, each
+// owning its compiled clone and basis chain; results are merged by an
+// in-order scan taking the first strict minimum, so a successful
+// sweep returns the same (value, scenario) as the sequential
+// enumeration regardless of scheduling.
+func OptimalUnderFailuresStats(ctx context.Context, g *topology.Graph, tm *traffic.Matrix, fs *failures.Set) (float64, failures.Scenario, *SweepStats, error) {
+	start := time.Now()
+	stats := &SweepStats{}
+	var scenarios []failures.Scenario
 	fs.Enumerate(func(sc failures.Scenario) bool {
-		if ctx != nil {
-			if err := ctx.Err(); err != nil {
-				solveErr = fmt.Errorf("mcf: scenario enumeration canceled at %v: %w", sc, err)
-				return false
-			}
-		}
-		res, err := solveFlow(ctx, g, tm, sc.Dead, true)
-		if err != nil {
-			solveErr = fmt.Errorf("mcf: scenario %v: %w", sc, err)
-			return false
-		}
-		if res.Objective < worst {
-			worst = res.Objective
-			worstSc = sc
-		}
+		scenarios = append(scenarios, sc)
 		return true
 	})
-	if solveErr != nil {
-		return 0, failures.Scenario{}, solveErr
+	stats.Scenarios = len(scenarios)
+	if len(scenarios) == 0 {
+		stats.Total = time.Since(start)
+		return math.Inf(1), failures.Scenario{}, stats, nil
 	}
-	return worst, worstSc, nil
+
+	fm, err := buildFlow(g, tm, nil, true)
+	if err != nil {
+		return 0, failures.Scenario{}, stats, err
+	}
+	if len(fm.dsts) == 0 {
+		// No demand: every scenario scales unboundedly.
+		stats.Total = time.Since(start)
+		return math.Inf(1), failures.Scenario{}, stats, nil
+	}
+	comp := lp.Compile(fm.m)
+	stats.CompileTime = comp.CompileTime
+
+	// One cold solve of the no-failure model seeds every worker's
+	// basis chain.
+	baseSol, err := comp.Solve(lp.Options{Context: ctx})
+	if err != nil {
+		return 0, failures.Scenario{}, stats, fmt.Errorf("mcf: base solve: %w", err)
+	}
+	stats.ColdSolves++
+	stats.LPIterations += baseSol.Stats.Iterations()
+
+	workers := runtime.NumCPU()
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	stats.Workers = workers
+
+	type slot struct {
+		obj  float64
+		err  error
+		done bool
+	}
+	results := make([]slot, len(scenarios))
+	perWorker := make([]SweepStats, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wcomp := comp
+			if workers > 1 {
+				wcomp = comp.Clone()
+			}
+			basis := baseSol.Basis
+			ws := &perWorker[w]
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(scenarios) {
+					return
+				}
+				sc := scenarios[i]
+				if ctx != nil {
+					if err := ctx.Err(); err != nil {
+						results[i].err = fmt.Errorf("mcf: scenario enumeration canceled at %v: %w", sc, err)
+						results[i].done = true
+						return
+					}
+				}
+				obj, sol, err := sweepSolve(ctx, wcomp, fm, sc, basis)
+				results[i].done = true
+				if err != nil {
+					results[i].err = fmt.Errorf("mcf: scenario %v: %w", sc, err)
+					return
+				}
+				results[i].obj = obj
+				if sol != nil {
+					ws.LPIterations += sol.Stats.Iterations()
+					if sol.Stats.WarmHit {
+						ws.WarmHits++
+					} else {
+						ws.ColdSolves++
+					}
+					if sol.Basis != nil {
+						basis = sol.Basis
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, ws := range perWorker {
+		stats.WarmHits += ws.WarmHits
+		stats.ColdSolves += ws.ColdSolves
+		stats.LPIterations += ws.LPIterations
+	}
+	stats.Total = time.Since(start)
+
+	worst := math.Inf(1)
+	var worstSc failures.Scenario
+	for i := range results {
+		if results[i].err != nil {
+			return 0, failures.Scenario{}, stats, results[i].err
+		}
+		if !results[i].done {
+			// Only reachable when every worker bailed out early; the
+			// in-order scan surfaces the triggering error first, so an
+			// undone slot here means a logic error upstream.
+			return 0, failures.Scenario{}, stats, fmt.Errorf("mcf: scenario %v was never solved", scenarios[i])
+		}
+		if results[i].obj < worst {
+			worst = results[i].obj
+			worstSc = scenarios[i]
+		}
+	}
+	return worst, worstSc, stats, nil
+}
+
+// sweepSolve re-solves the compiled base MCF under one scenario by
+// zeroing the dead arcs' capacity rows (restored before returning),
+// warm-starting from the supplied basis.
+func sweepSolve(ctx context.Context, comp *lp.Compiled, fm *flowModel, sc failures.Scenario, basis *lp.Basis) (float64, *lp.Solution, error) {
+	var touched []int
+	var saved []float64
+	for a := 0; a < fm.numArcs; a++ {
+		row := fm.capRow[a]
+		if row < 0 || !sc.Dead[topology.LinkOf(topology.ArcID(a))] {
+			continue
+		}
+		touched = append(touched, row)
+		saved = append(saved, comp.RowRHS(row))
+		comp.SetRowRHS(row, 0)
+	}
+	defer func() {
+		for k, row := range touched {
+			comp.SetRowRHS(row, saved[k])
+		}
+	}()
+	sol, err := comp.Solve(lp.Options{Context: ctx, WarmStart: basis})
+	if err != nil {
+		return 0, nil, fmt.Errorf("mcf: %w", err)
+	}
+	obj, err := objectiveOf(sol)
+	if err != nil {
+		return 0, nil, err
+	}
+	return obj, sol, nil
 }
 
 // ScaleToMLU rescales the matrix so the optimal no-failure MLU falls

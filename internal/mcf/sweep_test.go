@@ -1,0 +1,133 @@
+package mcf
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"pcf/internal/failures"
+	"pcf/internal/topology"
+	"pcf/internal/topozoo"
+	"pcf/internal/traffic"
+)
+
+// sequentialWorst is the pre-sweep reference implementation: one cold
+// solve per scenario, first strict minimum wins.
+func sequentialWorst(t *testing.T, g *topology.Graph, tm *traffic.Matrix, fs *failures.Set) (float64, failures.Scenario) {
+	t.Helper()
+	worst := math.Inf(1)
+	var worstSc failures.Scenario
+	fs.Enumerate(func(sc failures.Scenario) bool {
+		res, err := MaxConcurrentFlow(g, tm, sc.Dead)
+		if err != nil {
+			t.Fatalf("scenario %v: %v", sc, err)
+		}
+		if res.Objective < worst {
+			worst = res.Objective
+			worstSc = sc
+		}
+		return true
+	})
+	return worst, worstSc
+}
+
+// TestSweepMatchesSequentialGadgets: the compile-once warm-started
+// parallel sweep returns the same worst value and the same worst
+// scenario as per-scenario cold solves, on every paper gadget —
+// including Fig5, where a double failure disconnects the demand and
+// the per-scenario optimum is zero.
+func TestSweepMatchesSequentialGadgets(t *testing.T) {
+	cases := []struct {
+		name   string
+		gad    *topozoo.Gadget
+		budget int
+	}{
+		{"Fig1/f1", topozoo.Fig1(), 1},
+		{"Fig3/f1", topozoo.Fig3(), 1},
+		{"Fig4(3,2,3)/f1", topozoo.Fig4(3, 2, 3), 1},
+		{"Fig4(3,2,3)/f2", topozoo.Fig4(3, 2, 3), 2},
+		{"Fig5/f1", topozoo.Fig5(), 1},
+		{"Fig5/f2", topozoo.Fig5(), 2},
+	}
+	for _, tc := range cases {
+		g := tc.gad.Graph
+		tm := traffic.Single(g.NumNodes(), topology.Pair{Src: tc.gad.S, Dst: tc.gad.T}, 1)
+		fs := failures.SingleLinks(g, tc.budget)
+		wantWorst, wantSc := sequentialWorst(t, g, tm, fs)
+
+		worst, sc, stats, err := OptimalUnderFailuresStats(nil, g, tm, fs)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if math.Abs(worst-wantWorst) > 1e-9*(1+math.Abs(wantWorst)) {
+			t.Errorf("%s: sweep worst %g, sequential %g", tc.name, worst, wantWorst)
+		}
+		if len(sc.FailedUnits) != len(wantSc.FailedUnits) {
+			t.Errorf("%s: sweep scenario %v, sequential %v", tc.name, sc, wantSc)
+		} else {
+			for i := range sc.FailedUnits {
+				if sc.FailedUnits[i] != wantSc.FailedUnits[i] {
+					t.Errorf("%s: sweep scenario %v, sequential %v", tc.name, sc, wantSc)
+					break
+				}
+			}
+		}
+		if stats.Scenarios == 0 || stats.WarmHits+stats.ColdSolves != stats.Scenarios+1 {
+			t.Errorf("%s: inconsistent stats %+v", tc.name, *stats)
+		}
+	}
+}
+
+// TestSweepMatchesSequentialSprint runs the equivalence check on a
+// real Topology Zoo graph with a multi-pair gravity matrix.
+func TestSweepMatchesSequentialSprint(t *testing.T) {
+	g := topozoo.MustLoad("Sprint")
+	tm := traffic.Gravity(g, traffic.GravityOptions{Seed: 3, Jitter: 0.4})
+	pairs := tm.TopPairs(10)
+	tm = tm.Restrict(pairs)
+	fs := failures.SingleLinks(g, 1)
+	wantWorst, wantSc := sequentialWorst(t, g, tm, fs)
+	worst, sc, stats, err := OptimalUnderFailuresStats(nil, g, tm, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(worst-wantWorst) > 1e-9*(1+math.Abs(wantWorst)) {
+		t.Fatalf("sweep worst %g, sequential %g", worst, wantWorst)
+	}
+	if len(sc.FailedUnits) != len(wantSc.FailedUnits) {
+		t.Fatalf("sweep scenario %v, sequential %v", sc, wantSc)
+	}
+	if stats.WarmHitRate() == 0 {
+		t.Fatalf("no warm hits across %d scenarios: %+v", stats.Scenarios, *stats)
+	}
+}
+
+// TestSweepCanceledContext: the sweep honors cancellation and keeps
+// the sequential error format.
+func TestSweepCanceledContext(t *testing.T) {
+	gad := topozoo.Fig1()
+	g := gad.Graph
+	tm := traffic.Single(g.NumNodes(), topology.Pair{Src: gad.S, Dst: gad.T}, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := OptimalUnderFailuresContext(ctx, g, tm, failures.SingleLinks(g, 1))
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestSweepDeadline: an already-expired deadline surfaces promptly as
+// a wrapped DeadlineExceeded even through warm re-solves.
+func TestSweepDeadline(t *testing.T) {
+	gad := topozoo.Fig4(3, 2, 3)
+	g := gad.Graph
+	tm := traffic.Single(g.NumNodes(), topology.Pair{Src: gad.S, Dst: gad.T}, 1)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, _, err := OptimalUnderFailuresContext(ctx, g, tm, failures.SingleLinks(g, 2))
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}

@@ -429,7 +429,28 @@ func TestWorstMLU(t *testing.T) {
 func TestMultiFailureCLSValidation(t *testing.T) {
 	g := topozoo.MustLoad("Sprint")
 	tm := traffic.Gravity(g, traffic.GravityOptions{Seed: 9, Jitter: 0.4})
-	pairs := tm.TopPairs(8)
+	fs := failures.SingleLinks(g, 2)
+	// Keep only demand pairs that stay connected under every double
+	// failure: a pair that two failures physically disconnect forces
+	// the guaranteed scale to zero for every scheme, which would make
+	// the positive-traffic assertion below depend on float noise.
+	var pairs []topology.Pair
+	unit := func(topology.LinkID) float64 { return 1 }
+	for _, p := range tm.TopPairs(12) {
+		connected := true
+		fs.Enumerate(func(sc failures.Scenario) bool {
+			if _, ok := g.ShortestPath(p.Src, p.Dst, unit, func(l topology.LinkID) bool { return sc.Dead[l] }); !ok {
+				connected = false
+			}
+			return connected
+		})
+		if connected && len(pairs) < 8 {
+			pairs = append(pairs, p)
+		}
+	}
+	if len(pairs) < 4 {
+		t.Fatalf("only %d doubly-connected pairs on Sprint", len(pairs))
+	}
 	tm = tm.Restrict(pairs)
 	ts, err := tunnels.Select(g, pairs, tunnels.SelectOptions{PerPair: 3})
 	if err != nil {
@@ -439,7 +460,7 @@ func TestMultiFailureCLSValidation(t *testing.T) {
 		Graph:     g,
 		TM:        tm,
 		Tunnels:   ts,
-		Failures:  failures.SingleLinks(g, 2),
+		Failures:  fs,
 		Objective: core.DemandScale,
 	}
 	clsIn, _, err := core.BuildCLSQuick(in)

@@ -1,0 +1,78 @@
+#!/bin/sh
+# bench.sh — run the benchmark suite and record a JSON summary so the
+# bench trajectory is tracked in-repo under results/.
+#
+# usage: scripts/bench.sh [pattern] [count]
+#   pattern   go test -bench regexp (default: .)
+#   count     repetitions per benchmark (default: 3)
+# env:
+#   BENCH_OUT   output path (default: results/BENCH_<YYYY-MM-DD>.json)
+#   BENCHTIME   forwarded as -benchtime when set (e.g. 1x for a smoke run)
+#
+# The JSON records, per benchmark (mean over count runs): ns/op,
+# B/op, allocs/op, and any custom b.ReportMetric units.
+set -eu
+
+cd "$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd -P)"
+
+pattern="${1:-.}"
+count="${2:-3}"
+date_tag="$(date +%Y-%m-%d)"
+out="${BENCH_OUT:-results/BENCH_${date_tag}.json}"
+mkdir -p "$(dirname -- "$out")"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+set -- -run '^$' -bench "$pattern" -benchmem -count "$count"
+if [ -n "${BENCHTIME:-}" ]; then
+	set -- "$@" -benchtime "$BENCHTIME"
+fi
+go test "$@" . | tee "$tmp"
+
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+awk -v date="$date_tag" -v commit="$commit" -v count="$count" \
+	-v goversion="$(go env GOVERSION)" '
+/^Benchmark/ && NF >= 4 {
+	name = $1
+	sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+	if (!(name in seen)) { seen[name] = 1; order[++n] = name }
+	for (i = 3; i + 1 <= NF; i += 2) {
+		unit = $(i + 1)
+		sum[name, unit] += $i
+		cnt[name, unit]++
+		if (!((name, unit) in useen)) {
+			useen[name, unit] = 1
+			units[name] = units[name] SUBSEP unit
+		}
+	}
+}
+END {
+	printf "{\n"
+	printf "  \"date\": \"%s\",\n", date
+	printf "  \"commit\": \"%s\",\n", commit
+	printf "  \"go\": \"%s\",\n", goversion
+	printf "  \"count\": %d,\n", count
+	printf "  \"benchmarks\": [\n"
+	for (k = 1; k <= n; k++) {
+		name = order[k]
+		printf "    {\"name\": \"%s\"", name
+		m = split(substr(units[name], 2), us, SUBSEP)
+		for (j = 1; j <= m; j++) {
+			unit = us[j]
+			mean = sum[name, unit] / cnt[name, unit]
+			key = unit
+			if (unit == "ns/op") key = "ns_per_op"
+			else if (unit == "B/op") key = "bytes_per_op"
+			else if (unit == "allocs/op") key = "allocs_per_op"
+			else gsub(/[^A-Za-z0-9_]/, "_", key)
+			printf ", \"%s\": %.6g", key, mean
+		}
+		printf "}%s\n", (k < n ? "," : "")
+	}
+	printf "  ]\n}\n"
+}
+' "$tmp" >"$out"
+
+echo "bench summary written to $out"
