@@ -210,6 +210,101 @@ func BenchmarkScenarioSweep(b *testing.B) {
 	b.ReportMetric(worst, "demand_scale")
 }
 
+// geantPlan solves PCF-TF on the GEANT benchmark instance — the
+// realization benchmarks measure the online side of this plan.
+func geantPlan(b *testing.B) *core.Plan {
+	b.Helper()
+	setup, err := eval.Prepare(eval.Options{Topology: "GEANT", Seed: 1, MaxPairs: 60, FailureBudget: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := &core.Instance{
+		Graph: setup.Graph, TM: setup.TM, Tunnels: setup.Tunnels,
+		Failures: setup.Failures, Objective: core.DemandScale,
+	}
+	plan, err := core.SolvePCFTF(in, core.SolveOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan
+}
+
+// BenchmarkRealize measures a single-scenario realization on the GEANT
+// PCF-TF plan: the cold path refactorizes the reservation matrix from
+// scratch, the SMW path serves the scenario as a low-rank correction
+// of the shared base factorization (DESIGN.md §12).
+func BenchmarkRealize(b *testing.B) {
+	plan := geantPlan(b)
+	var sc failures.Scenario
+	plan.Instance.Failures.Enumerate(func(s failures.Scenario) bool {
+		if len(s.FailedUnits) == 1 {
+			sc = s
+			return false
+		}
+		return true
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := routing.Realize(plan, sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("SMW", func(b *testing.B) {
+		sweep := routing.NewSweep(plan)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sweep.Realize(sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st := sweep.Stats()
+		if st.SMWHits == 0 {
+			b.Fatal("SMW path never hit: benchmark would measure the cold fallback")
+		}
+	})
+}
+
+// BenchmarkValidateSweep measures the full scenario validation of the
+// GEANT plan: the base variant is the pre-sweep behavior (realize and
+// check every scenario, refactorizing per scenario); the SMW variant
+// is routing.ValidateStats with the shared factorization. The recorded
+// ratio is the headline speedup of DESIGN.md §12.
+func BenchmarkValidateSweep(b *testing.B) {
+	plan := geantPlan(b)
+	b.Run("base", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var failed error
+			plan.Instance.Failures.Enumerate(func(sc failures.Scenario) bool {
+				r, err := routing.Realize(plan, sc)
+				if err == nil {
+					err = routing.CheckRealization(plan, r)
+				}
+				if err != nil {
+					failed = err
+					return false
+				}
+				return true
+			})
+			if failed != nil {
+				b.Fatal(failed)
+			}
+		}
+	})
+	b.Run("SMW", func(b *testing.B) {
+		var st *routing.SweepStats
+		for i := 0; i < b.N; i++ {
+			var err error
+			st, err = routing.ValidateStats(nil, plan, routing.ValidateOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(100*st.SMWHitRate(), "smw_hit_pct")
+		b.ReportMetric(float64(st.Fallbacks), "fallbacks")
+	})
+}
+
 // ---- Ablation benchmarks (DESIGN.md §6) ----
 
 func benchInstance(b *testing.B) *core.Instance {

@@ -9,20 +9,23 @@ import (
 // CtxLoop guards the cancellation discipline PR 1 introduced: the
 // solver packages promise that a wedged solve aborts within a bounded
 // number of pivots/rounds once its context is cancelled. Any loop in
-// internal/lp, internal/core or internal/mcf that is not syntactically
-// bounded (plain `for {}` / `for cond {}`) and calls into the
-// solve/pivot/cut machinery must therefore either consult the context
-// (ctx.Err(), the Options.ctxErr helpers, a select on ctx.Done()) or
-// break on an explicit iteration budget. Bounded three-clause loops
-// and range loops are exempt: their trip count is capped by
-// construction.
+// internal/lp, internal/core, internal/mcf or internal/routing that is
+// not syntactically bounded (plain `for {}` / `for cond {}`) and calls
+// into the solve/pivot/realize machinery must therefore either consult
+// the context (ctx.Err(), the Options.ctxErr helpers, a select on
+// ctx.Done()) or break on an explicit iteration budget. Bounded
+// three-clause loops and range loops are exempt: their trip count is
+// capped by construction. internal/routing joined the scope with the
+// scenario sweep engine: its worker loops replay entire failure sets
+// and must honor the same deadline contract.
 var CtxLoop = &Analyzer{
 	Name: "ctxloop",
-	Doc:  "unbounded solve loops in lp/core/mcf must check their context or an iteration budget",
+	Doc:  "unbounded solve loops in lp/core/mcf/routing must check their context or an iteration budget",
 	Match: func(pkgPath string) bool {
 		return pathHasSuffix(pkgPath, "internal/lp") ||
 			pathHasSuffix(pkgPath, "internal/core") ||
-			pathHasSuffix(pkgPath, "internal/mcf")
+			pathHasSuffix(pkgPath, "internal/mcf") ||
+			pathHasSuffix(pkgPath, "internal/routing")
 	},
 	Run: runCtxLoop,
 }

@@ -92,8 +92,11 @@ func runGolden(t *testing.T, a *Analyzer, dirs ...string) []Diagnostic {
 	return directives
 }
 
-func TestFloatCmpGolden(t *testing.T)    { runGolden(t, FloatCmp, "floatcmp") }
-func TestCtxLoopGolden(t *testing.T)     { runGolden(t, CtxLoop, "internal/lp") }
+func TestFloatCmpGolden(t *testing.T) { runGolden(t, FloatCmp, "floatcmp") }
+func TestCtxLoopGolden(t *testing.T)  { runGolden(t, CtxLoop, "internal/lp") }
+func TestCtxLoopRoutingGolden(t *testing.T) {
+	runGolden(t, CtxLoop, "internal/routing")
+}
 func TestCheckedErrGolden(t *testing.T)  { runGolden(t, CheckedErr, "checkederr") }
 func TestNoPanicGolden(t *testing.T)     { runGolden(t, NoPanic, "internal/quiet") }
 func TestMutAfterPubGolden(t *testing.T) { runGolden(t, MutAfterPub, "mutafterpub") }
@@ -125,6 +128,9 @@ func TestAnalyzerScoping(t *testing.T) {
 	}
 	if CtxLoop.Match("internal/topology") {
 		t.Error("ctxloop should not match internal/topology")
+	}
+	if !CtxLoop.Match("internal/routing") || !CtxLoop.Match("pcf/internal/routing") {
+		t.Error("ctxloop should match internal/routing in both path styles")
 	}
 	if NoPanic.Match("cmd/pcflint") {
 		t.Error("nopanic should not match cmd/ packages")

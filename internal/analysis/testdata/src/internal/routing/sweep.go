@@ -1,0 +1,86 @@
+// Package routing exercises the ctxloop analyzer in its routing scope:
+// scenario-sweep worker loops that realize failure scenarios must
+// consult the context or an explicit budget, like the lp/core/mcf
+// solve loops.
+package routing
+
+import "context"
+
+type scenario struct{}
+
+func realizeScenario(sc scenario) error { return nil }
+func nextScenario() (scenario, bool)    { return scenario{}, false }
+func mergeSlot(sc scenario)             {}
+
+const maxScenarios = 64
+
+func workerNoCheck() {
+	for { // want "unbounded loop calls solve machinery"
+		sc, ok := nextScenario()
+		if !ok {
+			return
+		}
+		if realizeScenario(sc) != nil {
+			return
+		}
+	}
+}
+
+func replayCondNoCheck(more bool) {
+	for more { // want "unbounded loop calls solve machinery"
+		_, more = nextScenario()
+		_ = realizeScenario(scenario{})
+	}
+}
+
+func workerWithCtx(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		sc, ok := nextScenario()
+		if !ok {
+			return
+		}
+		_ = realizeScenario(sc)
+	}
+}
+
+func workerWithSelect(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		sc, ok := nextScenario()
+		if !ok {
+			return
+		}
+		_ = realizeScenario(sc)
+	}
+}
+
+func workerWithBudget() {
+	count := 0
+	for {
+		_ = realizeScenario(scenario{})
+		count++
+		if count > maxScenarios {
+			break
+		}
+	}
+}
+
+func enumerateBounded(scs []scenario) {
+	for _, sc := range scs {
+		_ = realizeScenario(sc)
+	}
+}
+
+func mergeOnly() {
+	for {
+		mergeSlot(scenario{})
+		return
+	}
+}

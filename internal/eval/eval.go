@@ -16,6 +16,7 @@ import (
 	"pcf/internal/core"
 	"pcf/internal/failures"
 	"pcf/internal/mcf"
+	"pcf/internal/routing"
 	"pcf/internal/topology"
 	"pcf/internal/topozoo"
 	"pcf/internal/traffic"
@@ -173,6 +174,17 @@ func SweepStatsLine(st *mcf.SweepStats) string {
 	return fmt.Sprintf("compile %v, %d LP iters, %d scenarios, warm %d (%.0f%% hit), %d workers",
 		st.CompileTime.Round(time.Microsecond), st.LPIterations, st.Scenarios,
 		st.WarmHits, 100*st.WarmHitRate(), st.Workers)
+}
+
+// RealizeSweepLine formats a validation sweep's statistics for
+// display — the realization-side counterpart of SweepStatsLine.
+func RealizeSweepLine(st *routing.SweepStats) string {
+	if st == nil {
+		return ""
+	}
+	return fmt.Sprintf("factor %v, %d scenarios, SMW %d (%.0f%% hit, max rank %d), %d fallbacks, %d workers",
+		st.BaseFactorTime.Round(time.Microsecond), st.Scenarios,
+		st.SMWHits, 100*st.SMWHitRate(), st.MaxRank, st.Fallbacks, st.Workers)
 }
 
 // Scheme names understood by Run.

@@ -2,11 +2,13 @@ package eval
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
 
 	"pcf/internal/core"
+	"pcf/internal/routing"
 )
 
 func TestPrepareSprint(t *testing.T) {
@@ -205,5 +207,51 @@ func TestSubLinkPreparation(t *testing.T) {
 	}
 	if r.Value < 0 {
 		t.Fatal("negative value")
+	}
+}
+
+// TestValidationSweepTable runs the validation-sweep experiment on one
+// small topology and checks the sweep statistics line up: every
+// scenario is accounted for, the worst MLU respects the plan's
+// guarantee, and the formatter renders the stats.
+func TestValidationSweepTable(t *testing.T) {
+	cfg := BenchConfig()
+	cfg.Topologies = []string{"B4"}
+	tab, err := ValidationSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || tab.Rows[0][0] != "B4" {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	row := tab.Rows[0]
+	if row[3] == "0" {
+		t.Fatalf("no scenarios swept: %v", row)
+	}
+	// The realized worst-case MLU must respect the plan's guarantee
+	// (Proposition 5: congestion-free at the solved demand scale).
+	var scale, mlu float64
+	if _, err := fmt.Sscanf(row[1], "%f", &scale); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Sscanf(row[2], "%f", &mlu); err != nil {
+		t.Fatal(err)
+	}
+	if mlu > 1+1e-6 {
+		t.Fatalf("worst MLU %g exceeds 1 despite scale %g", mlu, scale)
+	}
+}
+
+// TestRealizeSweepLine checks the stats formatter.
+func TestRealizeSweepLine(t *testing.T) {
+	if RealizeSweepLine(nil) != "" {
+		t.Fatal("nil stats should format empty")
+	}
+	st := &routing.SweepStats{Scenarios: 10, Workers: 2, SMWHits: 9, Fallbacks: 1, MaxRank: 4}
+	line := RealizeSweepLine(st)
+	for _, want := range []string{"10 scenarios", "SMW 9", "90% hit", "max rank 4", "1 fallbacks", "2 workers"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %q missing %q", line, want)
+		}
 	}
 }

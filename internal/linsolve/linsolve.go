@@ -75,11 +75,20 @@ func Factor(a []float64, n int) (*LU, error) {
 
 // Solve solves A x = b using the factorization.
 func (f *LU) Solve(b []float64) ([]float64, error) {
-	n := f.n
-	if len(b) != n {
-		return nil, fmt.Errorf("linsolve: rhs length %d != %d", len(b), n)
+	x := make([]float64, f.n)
+	if err := f.SolveInto(x, b); err != nil {
+		return nil, err
 	}
-	x := make([]float64, n)
+	return x, nil
+}
+
+// SolveInto solves A x = b into a caller-owned buffer, for hot paths
+// that reuse scratch across many solves. x must not overlap b.
+func (f *LU) SolveInto(x, b []float64) error {
+	n := f.n
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("linsolve: rhs length %d (dst %d) != %d", len(b), len(x), n)
+	}
 	// Apply permutation.
 	for i := 0; i < n; i++ {
 		x[i] = b[f.perm[i]]
@@ -101,7 +110,7 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 		}
 		x[i] = s / f.lu[i*n+i]
 	}
-	return x, nil
+	return nil
 }
 
 // SolveMany solves A X = B column by column, reusing the factorization.

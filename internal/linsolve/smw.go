@@ -1,0 +1,187 @@
+package linsolve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrIllConditioned is returned when a low-rank update's capacitance
+// matrix is too ill-conditioned for the Sherman–Morrison–Woodbury
+// correction to be trusted. Callers should refactorize cold. Matched
+// with errors.Is.
+var ErrIllConditioned = errors.New("linsolve: update capacitance ill-conditioned")
+
+// capCondLimit bounds the crude capacitance condition estimate
+// (max-entry over smallest pivot). Beyond it the SMW correction can
+// amplify round-off past the 1e-9 agreement contract, so RankUpdate
+// refuses and the caller falls back to a fresh factorization.
+const capCondLimit = 1e12
+
+// RowUpdate is a sparse additive modification of one matrix row:
+// row Row gains Vals[i] in column Cols[i]. A set of RowUpdates with
+// distinct rows describes M = A + Σ e_r·dᵀ, a rank-k perturbation.
+type RowUpdate struct {
+	Row  int
+	Cols []int
+	Vals []float64
+}
+
+// Updated solves systems of a row-updated matrix M = A + U·Vᵀ through
+// the Sherman–Morrison–Woodbury identity
+//
+//	M⁻¹ b = y − W · C⁻¹ · (Vᵀ y),   y = A⁻¹ b,
+//
+// where W = A⁻¹U (one inverse column per updated row) and
+// C = I_k + Vᵀ·W is the k×k capacitance matrix, factored once at
+// construction. Each solve costs O(nk + k²) given y, instead of the
+// O(n³) of refactorizing M — the regime PCF's failure scenarios live
+// in, where a scenario touches only the few reservation-matrix rows
+// whose tunnels or logical sequences the failed links affect.
+type Updated struct {
+	base *LU
+	n    int
+	ups  []RowUpdate
+	w    [][]float64 // w[j] = A⁻¹ e_{ups[j].Row} (column of the inverse)
+	cf   *LU         // capacitance factorization
+	z, y []float64   // k-sized scratch
+}
+
+// RankUpdate prepares an SMW solver for A + updates, computing the
+// needed inverse columns with k solves against the base factorization.
+// It returns ErrSingular (wrapped) if the capacitance matrix is
+// singular — i.e. the updated matrix is — and ErrIllConditioned when
+// the correction would be numerically untrustworthy.
+func (f *LU) RankUpdate(ups []RowUpdate) (*Updated, error) {
+	cols := make([][]float64, len(ups))
+	e := make([]float64, f.n)
+	for j, up := range ups {
+		if up.Row < 0 || up.Row >= f.n {
+			return nil, fmt.Errorf("linsolve: update row %d out of range [0,%d)", up.Row, f.n)
+		}
+		e[up.Row] = 1
+		x, err := f.Solve(e)
+		e[up.Row] = 0
+		if err != nil {
+			return nil, err
+		}
+		cols[j] = x
+	}
+	return f.RankUpdateCols(ups, cols)
+}
+
+// RankUpdateCols is RankUpdate with caller-supplied inverse columns:
+// cols[j] must equal A⁻¹ e_{ups[j].Row}. Callers sweeping many
+// scenarios against one base factorization precompute the full set of
+// inverse columns once and pass views here; the columns are retained
+// (not copied) and must not be modified while the Updated is in use.
+func (f *LU) RankUpdateCols(ups []RowUpdate, cols [][]float64) (*Updated, error) {
+	n, k := f.n, len(ups)
+	if len(cols) != k {
+		return nil, fmt.Errorf("linsolve: %d inverse columns for %d updates", len(cols), k)
+	}
+	for j, up := range ups {
+		if up.Row < 0 || up.Row >= n {
+			return nil, fmt.Errorf("linsolve: update row %d out of range [0,%d)", up.Row, n)
+		}
+		if len(up.Cols) != len(up.Vals) {
+			return nil, fmt.Errorf("linsolve: update row %d has %d cols, %d vals", up.Row, len(up.Cols), len(up.Vals))
+		}
+		if len(cols[j]) != n {
+			return nil, fmt.Errorf("linsolve: inverse column %d has length %d != %d", j, len(cols[j]), n)
+		}
+		for _, c := range up.Cols {
+			if c < 0 || c >= n {
+				return nil, fmt.Errorf("linsolve: update row %d references column %d out of range [0,%d)", up.Row, c, n)
+			}
+		}
+	}
+	// Capacitance C = I_k + Vᵀ W: C[i][j] = δ_ij + d_iᵀ · cols[j].
+	c := make([]float64, k*k)
+	maxEntry := 0.0
+	for i, up := range ups {
+		for j := 0; j < k; j++ {
+			s := 0.0
+			col := cols[j]
+			for t, cc := range up.Cols {
+				s += up.Vals[t] * col[cc]
+			}
+			if i == j {
+				s += 1
+			}
+			c[i*k+j] = s
+			if v := math.Abs(s); v > maxEntry {
+				maxEntry = v
+			}
+		}
+	}
+	cf, err := Factor(c, k)
+	if err != nil {
+		return nil, err
+	}
+	minPivot := math.Inf(1)
+	for i := 0; i < k; i++ {
+		if v := math.Abs(cf.lu[i*k+i]); v < minPivot {
+			minPivot = v
+		}
+	}
+	if k > 0 && maxEntry > capCondLimit*minPivot {
+		return nil, fmt.Errorf("%w: max entry %g, min pivot %g", ErrIllConditioned, maxEntry, minPivot)
+	}
+	return &Updated{
+		base: f, n: n, ups: ups, w: cols, cf: cf,
+		z: make([]float64, k), y: make([]float64, k),
+	}, nil
+}
+
+// Rank returns the rank k of the correction.
+func (u *Updated) Rank() int { return len(u.ups) }
+
+// CorrectInto applies the SMW correction to a base solution: given
+// y = A⁻¹ b it stores M⁻¹ b into dst. dst and y may be the same slice;
+// y is not otherwise modified, so one precomputed base solution can be
+// corrected against many scenarios. Not safe for concurrent use on one
+// Updated (it reuses internal k-sized scratch).
+func (u *Updated) CorrectInto(dst, y []float64) error {
+	if len(dst) != u.n || len(y) != u.n {
+		return fmt.Errorf("linsolve: correction length %d/%d != %d", len(dst), len(y), u.n)
+	}
+	// z = Vᵀ y.
+	for i, up := range u.ups {
+		s := 0.0
+		for t, c := range up.Cols {
+			s += up.Vals[t] * y[c]
+		}
+		u.z[i] = s
+	}
+	// y' = C⁻¹ z.
+	if err := u.cf.SolveInto(u.y, u.z); err != nil {
+		return err
+	}
+	if &dst[0] != &y[0] {
+		copy(dst, y)
+	}
+	// dst -= W y'.
+	for j, col := range u.w {
+		f := u.y[j]
+		if f == 0 {
+			continue
+		}
+		for i := range dst {
+			dst[i] -= f * col[i]
+		}
+	}
+	return nil
+}
+
+// Solve solves (A + updates) x = b.
+func (u *Updated) Solve(b []float64) ([]float64, error) {
+	y, err := u.base.Solve(b)
+	if err != nil {
+		return nil, err
+	}
+	if err := u.CorrectInto(y, y); err != nil {
+		return nil, err
+	}
+	return y, nil
+}

@@ -16,12 +16,24 @@ const (
 	RungProportional = "proportional"
 )
 
+// Defaults of the distributed Jacobi realization (§4.3), shared by
+// RealizeIterative and RealizeAuto's iterative rung so the two paths
+// cannot silently diverge: enough sweeps for the weakly chained
+// diagonally dominant matrices of Proposition 5 to contract, and a
+// residual target well inside the 1e-6..1e-7 feasibility tolerances
+// the realization checks apply downstream.
+const (
+	DefaultJacobiMaxSweeps = 20000
+	DefaultJacobiTol       = 1e-9
+)
+
 // AutoOptions tune RealizeAuto's degradation ladder.
 type AutoOptions struct {
 	// MaxSweeps bounds the iterative rung's Jacobi sweeps (default
-	// 20000).
+	// DefaultJacobiMaxSweeps).
 	MaxSweeps int
-	// Tol is the iterative rung's residual target (default 1e-9).
+	// Tol is the iterative rung's residual target (default
+	// DefaultJacobiTol).
 	Tol float64
 	// Factor, when non-nil, replaces the direct rung's LU
 	// factorization. It exists for fault injection: tests substitute a
@@ -34,10 +46,10 @@ type AutoOptions struct {
 
 func (o AutoOptions) withDefaults() AutoOptions {
 	if o.MaxSweeps == 0 {
-		o.MaxSweeps = 20000
+		o.MaxSweeps = DefaultJacobiMaxSweeps
 	}
 	if o.Tol == 0 {
-		o.Tol = 1e-9
+		o.Tol = DefaultJacobiTol
 	}
 	return o
 }

@@ -1,0 +1,159 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"pcf/internal/core"
+	"pcf/internal/failures"
+	"pcf/internal/topology"
+	"pcf/internal/traffic"
+	"pcf/internal/tunnels"
+)
+
+// ringInstance builds a 4-node bidirectional ring with one tunnel per
+// link direction, for constructing flow graphs with cycles by hand.
+func ringInstance(t *testing.T) (*core.Instance, map[[2]topology.NodeID]tunnels.ID) {
+	t.Helper()
+	g := topology.New("ring4")
+	for i := 0; i < 4; i++ {
+		g.AddNode("n")
+	}
+	g.AddLink(0, 1, 10)
+	g.AddLink(1, 2, 10)
+	g.AddLink(2, 3, 10)
+	g.AddLink(3, 0, 10)
+	ts := tunnels.NewSet(g)
+	ids := map[[2]topology.NodeID]tunnels.ID{}
+	for _, l := range g.Links() {
+		ids[[2]topology.NodeID{l.A, l.B}] = ts.MustAdd(topology.Pair{Src: l.A, Dst: l.B}, topology.Path{Arcs: []topology.ArcID{l.Forward()}})
+		ids[[2]topology.NodeID{l.B, l.A}] = ts.MustAdd(topology.Pair{Src: l.B, Dst: l.A}, topology.Path{Arcs: []topology.ArcID{l.Reverse()}})
+	}
+	in := &core.Instance{
+		Graph:     g,
+		TM:        traffic.Single(4, topology.Pair{Src: 0, Dst: 2}, 1),
+		Tunnels:   ts,
+		Failures:  failures.SingleLinks(g, 0),
+		Objective: core.DemandScale,
+	}
+	return in, ids
+}
+
+// TestFindFlowCycleIgnoresZeroFlow: tunnels carrying at most 1e-12 are
+// excluded from the adjacency, so a "cycle" closed only by a zero-flow
+// tunnel is not a cycle.
+func TestFindFlowCycleIgnoresZeroFlow(t *testing.T) {
+	in, ids := ringInstance(t)
+	flows := map[tunnels.ID]float64{
+		ids[[2]topology.NodeID{0, 1}]: 0.5,
+		ids[[2]topology.NodeID{1, 2}]: 0.5,
+		ids[[2]topology.NodeID{2, 3}]: 0.5,
+		ids[[2]topology.NodeID{3, 0}]: 1e-13, // below threshold: breaks the loop
+	}
+	if cyc := findFlowCycle(in, flows); cyc != nil {
+		t.Fatalf("found a cycle through a zero-flow tunnel: %v", cyc)
+	}
+	// Raise the closing tunnel above the threshold: now it is a cycle.
+	flows[ids[[2]topology.NodeID{3, 0}]] = 0.25
+	cyc := findFlowCycle(in, flows)
+	if len(cyc) != 4 {
+		t.Fatalf("cycle = %v, want all four ring tunnels", cyc)
+	}
+}
+
+// TestRemoveCyclesCancelsRing: a full circulation around the ring is
+// cancelled by its bottleneck, the bottleneck tunnel disappears, and
+// arc loads are rebuilt consistently.
+func TestRemoveCyclesCancelsRing(t *testing.T) {
+	in, ids := ringInstance(t)
+	plan := &core.Plan{Scheme: "test", Instance: in, TunnelRes: map[tunnels.ID]float64{}, LSRes: map[core.LSID]float64{}, Z: map[topology.Pair]float64{}}
+	fwd01 := ids[[2]topology.NodeID{0, 1}]
+	fwd12 := ids[[2]topology.NodeID{1, 2}]
+	fwd23 := ids[[2]topology.NodeID{2, 3}]
+	fwd30 := ids[[2]topology.NodeID{3, 0}]
+	r := &Realization{
+		TunnelTo: map[topology.NodeID]map[tunnels.ID]float64{
+			2: {
+				// Real flow 0->1->2 of 1.0 plus a circulation of 0.25.
+				fwd01: 1.25,
+				fwd12: 1.25,
+				fwd23: 0.25,
+				fwd30: 0.25,
+			},
+		},
+		ArcLoad: make([]float64, in.Graph.NumArcs()),
+	}
+	RemoveCycles(plan, r)
+	got := r.TunnelTo[2]
+	if _, ok := got[fwd23]; ok {
+		t.Fatalf("bottleneck tunnel survived with %g", got[fwd23])
+	}
+	if _, ok := got[fwd30]; ok {
+		t.Fatalf("cycle tunnel survived with %g", got[fwd30])
+	}
+	if math.Abs(got[fwd01]-1) > 1e-9 || math.Abs(got[fwd12]-1) > 1e-9 {
+		t.Fatalf("forward flow = %g/%g, want 1/1", got[fwd01], got[fwd12])
+	}
+	// Arc loads rebuilt from the cancelled flows.
+	for _, tid := range []tunnels.ID{fwd01, fwd12} {
+		a := in.Tunnels.Tunnel(tid).Path.Arcs[0]
+		if math.Abs(r.ArcLoad[a]-1) > 1e-9 {
+			t.Fatalf("arc %d load = %g, want 1", a, r.ArcLoad[a])
+		}
+	}
+	for _, tid := range []tunnels.ID{fwd23, fwd30} {
+		a := in.Tunnels.Tunnel(tid).Path.Arcs[0]
+		if r.ArcLoad[a] != 0 {
+			t.Fatalf("arc %d load = %g, want 0", a, r.ArcLoad[a])
+		}
+	}
+	// Idempotent: nothing left to cancel.
+	before := len(got)
+	RemoveCycles(plan, r)
+	if len(r.TunnelTo[2]) != before {
+		t.Fatal("second RemoveCycles changed the flows")
+	}
+}
+
+// TestRemoveCyclesSelfReinforcingLS models the flow pattern a
+// self-reinforcing logical sequence produces: two opposite tunnels on
+// the same link both carrying flow (0->1 and 1->0). The pair-level
+// graph has the 2-cycle 0->1->0, which must cancel down to the net
+// flow.
+func TestRemoveCyclesSelfReinforcingLS(t *testing.T) {
+	in, ids := ringInstance(t)
+	plan := &core.Plan{Scheme: "test", Instance: in, TunnelRes: map[tunnels.ID]float64{}, LSRes: map[core.LSID]float64{}, Z: map[topology.Pair]float64{}}
+	fwd01 := ids[[2]topology.NodeID{0, 1}]
+	back10 := ids[[2]topology.NodeID{1, 0}]
+	r := &Realization{
+		TunnelTo: map[topology.NodeID]map[tunnels.ID]float64{
+			1: {fwd01: 0.7, back10: 0.3},
+		},
+		ArcLoad: make([]float64, in.Graph.NumArcs()),
+	}
+	RemoveCycles(plan, r)
+	got := r.TunnelTo[1]
+	if _, ok := got[back10]; ok {
+		t.Fatalf("reverse tunnel survived with %g", got[back10])
+	}
+	if math.Abs(got[fwd01]-0.4) > 1e-9 {
+		t.Fatalf("net flow = %g, want 0.4", got[fwd01])
+	}
+	// Multiple destinations with independent cycles are each cleaned.
+	fwd12 := ids[[2]topology.NodeID{1, 2}]
+	back21 := ids[[2]topology.NodeID{2, 1}]
+	r2 := &Realization{
+		TunnelTo: map[topology.NodeID]map[tunnels.ID]float64{
+			1: {fwd01: 0.5, back10: 0.5},
+			2: {fwd12: 0.2, back21: 0.1},
+		},
+		ArcLoad: make([]float64, in.Graph.NumArcs()),
+	}
+	RemoveCycles(plan, r2)
+	if len(r2.TunnelTo[1]) != 0 {
+		t.Fatalf("pure circulation not fully cancelled: %v", r2.TunnelTo[1])
+	}
+	if math.Abs(r2.TunnelTo[2][fwd12]-0.1) > 1e-9 {
+		t.Fatalf("dst 2 net flow = %g, want 0.1", r2.TunnelTo[2][fwd12])
+	}
+}

@@ -439,31 +439,6 @@ type ValidateOptions struct {
 	Proportional bool
 }
 
-// Validate replays every scenario of the plan's designed failure set,
-// realizes the routing, and verifies the congestion-free property: all
-// admitted demand is delivered and no arc exceeds its capacity.
-func Validate(plan *core.Plan, opts ValidateOptions) error {
-	var firstErr error
-	plan.Instance.Failures.Enumerate(func(sc failures.Scenario) bool {
-		var r *Realization
-		var err error
-		if opts.Proportional {
-			r, err = RealizeProportional(plan, sc)
-		} else {
-			r, err = Realize(plan, sc)
-		}
-		if err == nil {
-			err = CheckRealization(plan, r)
-		}
-		if err != nil {
-			firstErr = err
-			return false
-		}
-		return true
-	})
-	return firstErr
-}
-
 // RemoveCycles cancels circulation in the per-destination tunnel flows
 // of a realization (Proposition 6 notes the linear-system solution may
 // contain loops that can be subtracted in post-processing). Cycles are
@@ -573,47 +548,22 @@ func findFlowCycle(in *core.Instance, flows map[tunnels.ID]float64) []tunnels.ID
 	return nil
 }
 
-// WorstMLU replays every protected scenario and returns the maximum
-// link utilization observed and the scenario that produces it — the
-// data-plane counterpart of the plan's 1/z guarantee.
-func WorstMLU(plan *core.Plan, opts ValidateOptions) (float64, failures.Scenario, error) {
-	worst := 0.0
-	var worstSc failures.Scenario
-	var firstErr error
-	plan.Instance.Failures.Enumerate(func(sc failures.Scenario) bool {
-		var r *Realization
-		var err error
-		if opts.Proportional {
-			r, err = RealizeProportional(plan, sc)
-		} else {
-			r, err = Realize(plan, sc)
-		}
-		if err != nil {
-			firstErr = err
-			return false
-		}
-		g := plan.Instance.Graph
-		for a, load := range r.ArcLoad {
-			if c := g.ArcCapacity(topology.ArcID(a)); c > 0 {
-				if u := load / c; u > worst {
-					worst = u
-					worstSc = sc
-				}
-			}
-		}
-		return true
-	})
-	return worst, worstSc, firstErr
-}
-
 // RealizeIterative computes the aggregate utilizations U with the
 // Jacobi iteration instead of a direct solve — the fully distributed
 // implementation the paper sketches in §4.3: each node pair repeatedly
 // updates its own utilization from its neighbors' values, which is
 // possible because M is a weakly chained diagonally dominant M-matrix
 // (Proposition 5) and therefore the iteration converges. Returns the
-// utilizations in the same pair order as Realize.
+// utilizations in the same pair order as Realize. maxSweeps <= 0 and
+// tol <= 0 select DefaultJacobiMaxSweeps and DefaultJacobiTol, the
+// same defaults RealizeAuto's iterative rung uses.
 func RealizeIterative(plan *core.Plan, sc failures.Scenario, maxSweeps int, tol float64) ([]topology.Pair, []float64, error) {
+	if maxSweeps <= 0 {
+		maxSweeps = DefaultJacobiMaxSweeps
+	}
+	if tol <= 0 {
+		tol = DefaultJacobiTol
+	}
 	st := newState(plan, sc)
 	n := len(st.pairs)
 	if n == 0 {

@@ -1,0 +1,947 @@
+package routing
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pcf/internal/core"
+	"pcf/internal/failures"
+	"pcf/internal/linsolve"
+	"pcf/internal/topology"
+	"pcf/internal/tunnels"
+)
+
+// SweepStats reports how a scenario sweep went — the validation-path
+// counterpart of mcf.SweepStats.
+type SweepStats struct {
+	// Scenarios is the number of failure scenarios realized; Workers
+	// the goroutines that swept them.
+	Scenarios int
+	Workers   int
+	// BaseFactorTime is the one-time cost of building the base
+	// (no-failure) reservation matrix, factoring it, computing its
+	// inverse columns, and solving the aggregate plus per-destination
+	// base systems.
+	BaseFactorTime time.Duration
+	// SMWHits counts scenarios served by the Sherman–Morrison–Woodbury
+	// low-rank path (including unchanged scenarios served straight
+	// from the base solutions); Fallbacks counts scenarios that
+	// refactorized cold because of the rank guard, an ill-conditioned
+	// capacitance, or a residual check failure.
+	SMWHits   int
+	Fallbacks int
+	// MaxRank is the largest rank-k correction served by the SMW path.
+	MaxRank int
+	// Total is the wall clock of the whole sweep.
+	Total time.Duration
+}
+
+// SMWHitRate is the fraction of scenario realizations served by the
+// low-rank path.
+func (s SweepStats) SMWHitRate() float64 {
+	if s.Scenarios == 0 {
+		return 0
+	}
+	return float64(s.SMWHits) / float64(s.Scenarios)
+}
+
+// sweepLS is a positive-reservation logical sequence translated into
+// universe-row coordinates.
+type sweepLS struct {
+	pairRow    int   // universe row of q.Pair, or -1 if not of interest
+	segRows    []int // universe rows of the segments, multiplicity kept
+	res        float64
+	cond       *core.Condition
+	baseActive bool // active in the no-failure scenario
+}
+
+// Sweep is the incremental §4.1 realization engine. It precomputes,
+// once per plan, everything scenario-independent: the "universe" pairs
+// of interest (transitive closure of the demand pairs through every
+// positive-reservation LS, conditions ignored — a superset of any
+// scenario's pair set, so conditional LSs that only activate under
+// failures still have their rows in the base space), the base
+// reservation matrix with identity rows padding pairs outside the
+// no-failure set, its LU factorization and inverse columns, and the
+// base solutions of the aggregate and per-destination systems. Each
+// scenario is then realized as a sparse rank-k row correction via
+// Sherman–Morrison–Woodbury, falling back to the cold path when the
+// correction is too large or numerically suspect.
+type Sweep struct {
+	plan *core.Plan
+
+	n     int
+	pairs []topology.Pair
+	index map[topology.Pair]int
+
+	numTun    int
+	pairTun   [][]tunnels.ID                   // universe row -> tunnels of that pair
+	tunRow    []int                            // tunnel -> universe row (-1 if none)
+	linkTuns  map[topology.LinkID][]tunnels.ID // link -> tunnels of universe pairs using it
+	ls        []sweepLS
+	localLS   [][]int // row -> indexes into ls with pairRow == row
+	throughLS [][]int // row -> indexes into ls having the row as a segment
+	seeds     []int   // universe rows of positive-demand pairs
+	demand    []float64
+	dests     []topology.NodeID
+	checkWant map[topology.NodeID][]float64 // dst -> per-node balance targets
+
+	baseInSet []bool
+	baseMat   []float64
+	lu        *linsolve.LU // nil: engine is cold-only (base matrix unusable)
+	invCols   [][]float64  // invCols[r] = column r of the base inverse
+	uBase     []float64    // base aggregate solution A⁻¹D
+	destBase  [][]float64  // base per-destination solutions A⁻¹D_t
+
+	baseTime time.Duration
+	pool     sync.Pool
+
+	served    atomic.Int64
+	smwHits   atomic.Int64
+	fallbacks atomic.Int64
+	maxRank   atomic.Int64
+}
+
+// NewSweep builds the incremental realization engine for a plan. It
+// never fails: when the base matrix cannot be factored (or a base pair
+// has no live reservation) the engine serves every scenario through
+// the cold path, which reports the underlying problem per scenario
+// exactly as Realize does.
+func NewSweep(plan *core.Plan) *Sweep {
+	start := time.Now()
+	in := plan.Instance
+	s := &Sweep{
+		plan:     plan,
+		index:    map[topology.Pair]int{},
+		numTun:   in.Tunnels.Len(),
+		linkTuns: map[topology.LinkID][]tunnels.ID{},
+	}
+
+	// Positive-reservation LSs, in instance order (the order every
+	// cold-path list is built in, so recomputed sums are bit-equal).
+	var qs []core.LogicalSequence
+	for _, q := range in.LSs {
+		if plan.LSRes[q.ID] > 0 {
+			qs = append(qs, q)
+		}
+	}
+
+	// Universe pairs: closure of the demand pairs through ALL
+	// positive-reservation LSs, conditions ignored.
+	lsByPair := map[topology.Pair][]int{}
+	for i, q := range qs {
+		lsByPair[q.Pair] = append(lsByPair[q.Pair], i)
+	}
+	inU := map[topology.Pair]bool{}
+	var queue []topology.Pair
+	add := func(p topology.Pair) {
+		if !inU[p] {
+			inU[p] = true
+			queue = append(queue, p)
+		}
+	}
+	for _, p := range in.DemandPairs() {
+		if plan.ScaledDemand(p) > 1e-12 {
+			add(p)
+		}
+	}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, qi := range lsByPair[p] {
+			for _, seg := range qs[qi].Segments() {
+				add(seg)
+			}
+		}
+	}
+	for a := 0; a < in.Graph.NumNodes(); a++ {
+		for b := 0; b < in.Graph.NumNodes(); b++ {
+			p := topology.Pair{Src: topology.NodeID(a), Dst: topology.NodeID(b)}
+			if inU[p] {
+				s.index[p] = len(s.pairs)
+				s.pairs = append(s.pairs, p)
+			}
+		}
+	}
+	s.n = len(s.pairs)
+	n := s.n
+
+	// Tunnel indexes per universe row, and the link -> tunnels map used
+	// to find tunnels a failed link kills.
+	s.pairTun = make([][]tunnels.ID, n)
+	s.tunRow = make([]int, s.numTun)
+	for i := range s.tunRow {
+		s.tunRow[i] = -1
+	}
+	for r, p := range s.pairs {
+		s.pairTun[r] = in.Tunnels.ForPair(p)
+		for _, tid := range s.pairTun[r] {
+			s.tunRow[tid] = r
+			for _, l := range in.Tunnels.Tunnel(tid).Path.Links() {
+				s.linkTuns[l] = append(s.linkTuns[l], tid)
+			}
+		}
+	}
+
+	// LS entries in universe-row coordinates.
+	noFailure := failures.Scenario{}
+	s.localLS = make([][]int, n)
+	s.throughLS = make([][]int, n)
+	for _, q := range qs {
+		e := sweepLS{pairRow: -1, res: plan.LSRes[q.ID], cond: q.Cond, baseActive: q.Cond.Holds(noFailure)}
+		if r, ok := s.index[q.Pair]; ok {
+			e.pairRow = r
+		}
+		for _, seg := range q.Segments() {
+			if r, ok := s.index[seg]; ok {
+				e.segRows = append(e.segRows, r)
+			}
+		}
+		qi := len(s.ls)
+		s.ls = append(s.ls, e)
+		if e.pairRow >= 0 {
+			s.localLS[e.pairRow] = append(s.localLS[e.pairRow], qi)
+		}
+		for _, r := range e.segRows {
+			s.throughLS[r] = append(s.throughLS[r], qi)
+		}
+	}
+
+	// Demand vector, seeds, destinations (node order, as the cold path
+	// iterates them).
+	s.demand = make([]float64, n)
+	for r, p := range s.pairs {
+		s.demand[r] = plan.ScaledDemand(p)
+	}
+	destSet := map[topology.NodeID]bool{}
+	for _, p := range in.DemandPairs() {
+		if plan.ScaledDemand(p) > 1e-12 {
+			if r, ok := s.index[p]; ok {
+				s.seeds = append(s.seeds, r)
+			}
+			destSet[p.Dst] = true
+		}
+	}
+	for t := 0; t < in.Graph.NumNodes(); t++ {
+		if destSet[topology.NodeID(t)] {
+			s.dests = append(s.dests, topology.NodeID(t))
+		}
+	}
+
+	// Per-destination node-balance targets for Check: the `want`
+	// vector CheckRealization recomputes per scenario is scenario-
+	// independent, so build it once. want[v] is the scaled demand
+	// v->dst; want[dst] is minus the total demand into dst.
+	s.checkWant = make(map[topology.NodeID][]float64, len(s.dests))
+	for _, dst := range s.dests {
+		s.checkWant[dst] = make([]float64, in.Graph.NumNodes())
+	}
+	for _, p := range in.DemandPairs() {
+		if w, ok := s.checkWant[p.Dst]; ok {
+			d := plan.ScaledDemand(p)
+			w[p.Src] += d
+			w[p.Dst] -= d
+		}
+	}
+
+	// No-failure membership and base matrix. Pairs outside the
+	// no-failure set get identity rows: they carry no demand and no
+	// in-set row references their column, so the in-set block solves
+	// exactly as the cold path's smaller system.
+	s.baseInSet = s.membership(noFailureActivity(s.ls))
+	s.baseMat = make([]float64, n*n)
+	diagOK := true
+	for r := 0; r < n; r++ {
+		if !s.baseInSet[r] {
+			s.baseMat[r*n+r] = 1
+			continue
+		}
+		diag := 0.0
+		for _, tid := range s.pairTun[r] {
+			diag += plan.TunnelRes[tid]
+		}
+		for _, qi := range s.localLS[r] {
+			if s.ls[qi].baseActive {
+				diag += s.ls[qi].res
+			}
+		}
+		if diag <= 1e-12 {
+			diagOK = false
+		}
+		s.baseMat[r*n+r] += diag
+		for _, qi := range s.throughLS[r] {
+			e := &s.ls[qi]
+			if !e.baseActive || e.pairRow < 0 || !s.baseInSet[e.pairRow] {
+				continue
+			}
+			s.baseMat[r*n+e.pairRow] -= e.res
+		}
+	}
+
+	if n > 0 && diagOK {
+		if lu, err := linsolve.Factor(s.baseMat, n); err == nil {
+			s.lu = lu
+			s.invCols = make([][]float64, n)
+			e := make([]float64, n)
+			ok := true
+			for r := 0; r < n && ok; r++ {
+				col := make([]float64, n)
+				e[r] = 1
+				if err := lu.SolveInto(col, e); err != nil {
+					ok = false
+				}
+				e[r] = 0
+				s.invCols[r] = col
+			}
+			s.uBase = make([]float64, n)
+			if err := lu.SolveInto(s.uBase, s.demand); err != nil {
+				ok = false
+			}
+			s.destBase = make([][]float64, len(s.dests))
+			dt := make([]float64, n)
+			for di, dst := range s.dests {
+				for r, p := range s.pairs {
+					dt[r] = 0
+					if p.Dst == dst {
+						dt[r] = plan.ScaledDemand(p)
+					}
+				}
+				s.destBase[di] = make([]float64, n)
+				if err := lu.SolveInto(s.destBase[di], dt); err != nil {
+					ok = false
+				}
+			}
+			if !ok {
+				s.lu = nil
+			}
+		}
+	}
+	s.pool.New = func() any { return s.newScratch() }
+	s.baseTime = time.Since(start)
+	return s
+}
+
+// Check verifies Proposition 6's properties for a realization of this
+// sweep's plan, like CheckRealization, but against the per-destination
+// balance targets precomputed once per plan. A destination outside the
+// precomputed set (a realization from a different plan) falls back to
+// the general check.
+func (s *Sweep) Check(r *Realization) error {
+	in := s.plan.Instance
+	g := in.Graph
+	for a := 0; a < g.NumArcs(); a++ {
+		if r.ArcLoad[a] > g.ArcCapacity(topology.ArcID(a))+1e-6 {
+			return fmt.Errorf("routing: arc %d (link %d) overloaded: %g > %g under scenario %v",
+				a, topology.LinkOf(topology.ArcID(a)), r.ArcLoad[a],
+				g.ArcCapacity(topology.ArcID(a)), r.Scenario)
+		}
+	}
+	net := make([]float64, g.NumNodes())
+	for dst, flows := range r.TunnelTo {
+		want, ok := s.checkWant[dst]
+		if !ok {
+			return CheckRealization(s.plan, r)
+		}
+		for i := range net {
+			net[i] = 0
+		}
+		for tid, v := range flows {
+			p := in.Tunnels.Tunnel(tid).Pair
+			net[p.Src] += v
+			net[p.Dst] -= v
+		}
+		for v := range net {
+			if math.Abs(net[v]-want[v]) > 1e-6 {
+				return fmt.Errorf("routing: destination %d node %d ships %g, want %g under %v",
+					dst, v, net[v], want[v], r.Scenario)
+			}
+		}
+	}
+	return nil
+}
+
+// noFailureActivity returns the base activity vector of the LS list.
+func noFailureActivity(ls []sweepLS) []bool {
+	act := make([]bool, len(ls))
+	for i := range ls {
+		act[i] = ls[i].baseActive
+	}
+	return act
+}
+
+// membership computes the pairs of interest (as a universe-row set)
+// given an LS activity vector — the same transitive closure newState
+// performs, restricted to universe rows (which it never leaves,
+// because the universe closes over every LS that could be active).
+func (s *Sweep) membership(active []bool) []bool {
+	in := make([]bool, s.n)
+	queue := make([]int, 0, s.n)
+	for _, r := range s.seeds {
+		if !in[r] {
+			in[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		r := queue[0]
+		queue = queue[1:]
+		for _, qi := range s.localLS[r] {
+			if !active[qi] {
+				continue
+			}
+			for _, sr := range s.ls[qi].segRows {
+				if !in[sr] {
+					in[sr] = true
+					queue = append(queue, sr)
+				}
+			}
+		}
+	}
+	return in
+}
+
+// BaseFactorTime reports the one-time precomputation cost.
+func (s *Sweep) BaseFactorTime() time.Duration { return s.baseTime }
+
+// Stats snapshots the engine's cumulative counters (scenarios served
+// through Realize and the internal sweep loops).
+func (s *Sweep) Stats() SweepStats {
+	return SweepStats{
+		Scenarios: int(s.served.Load()),
+		SMWHits:   int(s.smwHits.Load()),
+		Fallbacks: int(s.fallbacks.Load()),
+		MaxRank:   int(s.maxRank.Load()),
+	}
+}
+
+// sweepScratch is per-worker mutable state, so the read-only Sweep can
+// be shared across goroutines without locks.
+type sweepScratch struct {
+	epoch    int32
+	colEpoch int32   // separate counter: colMark resets per candidate row
+	inSet    []int32 // epoch stamps per universe row
+	rowMark  []int32
+	colMark  []int32
+	deadTun  []int32 // epoch stamps per tunnel ID
+	lsActive []bool
+	rowVals  []float64
+	rows     []int
+	x, xt    []float64
+}
+
+func (s *Sweep) newScratch() *sweepScratch {
+	return &sweepScratch{
+		inSet:    make([]int32, s.n),
+		rowMark:  make([]int32, s.n),
+		colMark:  make([]int32, s.n),
+		deadTun:  make([]int32, s.numTun),
+		lsActive: make([]bool, len(s.ls)),
+		rowVals:  make([]float64, s.n),
+		rows:     make([]int, 0, s.n),
+		x:        make([]float64, s.n),
+		xt:       make([]float64, s.n),
+	}
+}
+
+// Realize computes the routing for one scenario, using the low-rank
+// path when it applies and the cold path otherwise. The result is
+// identical to Realize(plan, sc) up to linear-solver round-off (1e-9
+// relative, property-tested). Safe for concurrent use.
+func (s *Sweep) Realize(sc failures.Scenario) (*Realization, error) {
+	sr := s.pool.Get().(*sweepScratch)
+	r, smw, rank, err := s.realize(sc, sr)
+	s.pool.Put(sr)
+	s.served.Add(1)
+	if err == nil {
+		if smw {
+			s.smwHits.Add(1)
+			for {
+				cur := s.maxRank.Load()
+				if int64(rank) <= cur || s.maxRank.CompareAndSwap(cur, int64(rank)) {
+					break
+				}
+			}
+		} else {
+			s.fallbacks.Add(1)
+		}
+	}
+	return r, err
+}
+
+// realize is the scenario hot path. It reports whether the low-rank
+// path served the scenario and with what correction rank.
+func (s *Sweep) realize(sc failures.Scenario, sr *sweepScratch) (*Realization, bool, int, error) {
+	in := s.plan.Instance
+	res := &Realization{
+		Scenario: sc,
+		TunnelTo: map[topology.NodeID]map[tunnels.ID]float64{},
+		ArcLoad:  make([]float64, in.Graph.NumArcs()),
+	}
+	n := s.n
+	if n == 0 {
+		return res, true, 0, nil
+	}
+	sr.epoch++
+	ep := sr.epoch
+
+	// Dead tunnels, and the rows whose diagonal they change.
+	for l, dead := range sc.Dead {
+		if !dead {
+			continue
+		}
+		for _, tid := range s.linkTuns[l] {
+			if sr.deadTun[tid] == ep {
+				continue
+			}
+			sr.deadTun[tid] = ep
+			if r := s.tunRow[tid]; r >= 0 && s.plan.TunnelRes[tid] > 0 {
+				sr.rowMark[r] = ep
+			}
+		}
+	}
+
+	// LS activity and the rows an activity flip touches.
+	for qi := range s.ls {
+		e := &s.ls[qi]
+		act := e.cond.Holds(sc)
+		sr.lsActive[qi] = act
+		if act == e.baseActive {
+			continue
+		}
+		if e.pairRow >= 0 {
+			sr.rowMark[e.pairRow] = ep
+		}
+		for _, r := range e.segRows {
+			sr.rowMark[r] = ep
+		}
+	}
+
+	// Pairs of interest under the scenario (closure through the active
+	// LSs), plus the rows membership changes touch.
+	inCount := 0
+	queue := sr.rows[:0]
+	for _, r := range s.seeds {
+		if sr.inSet[r] != ep {
+			sr.inSet[r] = ep
+			inCount++
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		r := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, qi := range s.localLS[r] {
+			if !sr.lsActive[qi] {
+				continue
+			}
+			for _, sg := range s.ls[qi].segRows {
+				if sr.inSet[sg] != ep {
+					sr.inSet[sg] = ep
+					inCount++
+					queue = append(queue, sg)
+				}
+			}
+		}
+	}
+	for r := 0; r < n; r++ {
+		if (sr.inSet[r] == ep) == s.baseInSet[r] {
+			continue
+		}
+		sr.rowMark[r] = ep
+		// Entries of LSs local to r sit in r's column of their segment
+		// rows, gated on r's membership: those rows change too.
+		for _, qi := range s.localLS[r] {
+			e := &s.ls[qi]
+			if !sr.lsActive[qi] && !e.baseActive {
+				continue
+			}
+			for _, sg := range e.segRows {
+				sr.rowMark[sg] = ep
+			}
+		}
+	}
+
+	// Candidate rows in deterministic order.
+	rows := sr.rows[:0]
+	for r := 0; r < n; r++ {
+		if sr.rowMark[r] == ep {
+			rows = append(rows, r)
+		}
+	}
+	sort.Ints(rows)
+
+	// Sparse row deltas versus the base matrix. Unchanged rows
+	// recompute to bit-identical sums (same iteration order as the
+	// base build), so spurious deltas never appear.
+	var ups []linsolve.RowUpdate
+	var upScale []float64
+	for _, r := range rows {
+		nowIn := sr.inSet[r] == ep
+		sr.colEpoch++
+		ce := sr.colEpoch
+		touch := func(c int, v float64) {
+			if sr.colMark[c] != ce {
+				sr.colMark[c] = ce
+				sr.rowVals[c] = 0
+			}
+			sr.rowVals[c] += v
+		}
+		scale := 1.0
+		if !nowIn {
+			touch(r, 1)
+		} else {
+			diag := 0.0
+			for _, tid := range s.pairTun[r] {
+				if sr.deadTun[tid] == ep {
+					continue
+				}
+				diag += s.plan.TunnelRes[tid]
+			}
+			for _, qi := range s.localLS[r] {
+				if sr.lsActive[qi] {
+					diag += s.ls[qi].res
+				}
+			}
+			if diag <= 1e-12 {
+				return nil, false, 0, fmt.Errorf("routing: pair %v of interest has no live reservation under %v", s.pairs[r], sc)
+			}
+			touch(r, diag)
+			scale += diag
+			for _, qi := range s.throughLS[r] {
+				e := &s.ls[qi]
+				if !sr.lsActive[qi] || e.pairRow < 0 || sr.inSet[e.pairRow] != ep {
+					continue
+				}
+				touch(e.pairRow, -e.res)
+			}
+		}
+		base := s.baseMat[r*n : (r+1)*n]
+		var cols []int
+		var vals []float64
+		for c := 0; c < n; c++ {
+			t := 0.0
+			if sr.colMark[c] == ce {
+				t = sr.rowVals[c]
+			}
+			if d := t - base[c]; d != 0 {
+				cols = append(cols, c)
+				vals = append(vals, d)
+			}
+		}
+		if len(cols) > 0 {
+			ups = append(ups, linsolve.RowUpdate{Row: r, Cols: cols, Vals: vals})
+			upScale = append(upScale, scale)
+		}
+	}
+
+	k := len(ups)
+	if s.lu == nil || 2*k > n {
+		r, err := Realize(s.plan, sc)
+		return r, false, 0, err
+	}
+
+	var upd *linsolve.Updated
+	if k > 0 {
+		cols := make([][]float64, k)
+		for j, up := range ups {
+			cols[j] = s.invCols[up.Row]
+		}
+		var err error
+		upd, err = s.lu.RankUpdateCols(ups, cols)
+		if err != nil {
+			r, err := Realize(s.plan, sc)
+			return r, false, 0, err
+		}
+	}
+
+	// Aggregate system: correct the precomputed base solution.
+	x := s.uBase
+	if k > 0 {
+		if err := upd.CorrectInto(sr.x, s.uBase); err != nil {
+			return nil, false, 0, fmt.Errorf("routing: aggregate system under %v: %w", sc, err)
+		}
+		x = sr.x
+		// Residual guard on the corrected rows: if the rank-k identity
+		// lost accuracy, refactorize cold rather than return drift.
+		for j, up := range ups {
+			r := up.Row
+			base := s.baseMat[r*n : (r+1)*n]
+			acc := -s.demand[r]
+			for c, bv := range base {
+				if bv != 0 {
+					acc += bv * x[c]
+				}
+			}
+			for t, c := range up.Cols {
+				acc += up.Vals[t] * x[c]
+			}
+			if acc > 1e-6*upScale[j] || acc < -1e-6*upScale[j] {
+				r, err := Realize(s.plan, sc)
+				return r, false, 0, err
+			}
+		}
+	}
+
+	pairsOut := make([]topology.Pair, 0, inCount)
+	uOut := make([]float64, 0, inCount)
+	for r := 0; r < n; r++ {
+		if sr.inSet[r] != ep {
+			continue
+		}
+		v := x[r]
+		if v < -1e-7 || v > 1+1e-7 {
+			return nil, false, 0, fmt.Errorf("routing: U[%v] = %g outside [0,1] under %v (Proposition 5 violated — plan not feasible for this scenario)",
+				s.pairs[r], v, sc)
+		}
+		pairsOut = append(pairsOut, s.pairs[r])
+		uOut = append(uOut, v)
+	}
+	res.Pairs = pairsOut
+	res.U = uOut
+
+	// Per-destination systems share the correction.
+	for di, dst := range s.dests {
+		xt := s.destBase[di]
+		if k > 0 {
+			if err := upd.CorrectInto(sr.xt, s.destBase[di]); err != nil {
+				return nil, false, 0, fmt.Errorf("routing: destination %d system under %v: %w", dst, sc, err)
+			}
+			xt = sr.xt
+		}
+		flows := map[tunnels.ID]float64{}
+		for r := 0; r < n; r++ {
+			if sr.inSet[r] != ep || xt[r] <= 1e-12 {
+				continue
+			}
+			for _, tid := range s.pairTun[r] {
+				if sr.deadTun[tid] == ep {
+					continue
+				}
+				rr := xt[r] * s.plan.TunnelRes[tid]
+				if rr <= 1e-12 {
+					continue
+				}
+				flows[tid] += rr
+				for _, a := range in.Tunnels.Tunnel(tid).Path.Arcs {
+					res.ArcLoad[a] += rr
+				}
+			}
+		}
+		res.TunnelTo[dst] = flows
+	}
+	return res, true, k, nil
+}
+
+// sweepWorkerCount sizes the worker pool. A hook rather than a direct
+// runtime.NumCPU() call so tests can force multi-worker sweeps (and
+// race-detect the merge) on single-core machines.
+var sweepWorkerCount = runtime.NumCPU
+
+// sweepSlot is one scenario's outcome in enumeration order.
+type sweepSlot struct {
+	mlu  float64
+	err  error
+	done bool
+}
+
+// runSweep realizes every scenario of the plan's failure set on a
+// NumCPU-bounded worker pool with per-worker scratch, and returns the
+// outcomes in enumeration order — the same deterministic contract as
+// mcf's scenario sweep: scenarios are pre-enumerated, workers claim
+// indexes from an atomic counter, and the callers merge the slot array
+// in order so worker scheduling never changes an answer. A nil ctx
+// means no deadline.
+func runSweep(ctx context.Context, plan *core.Plan, opts ValidateOptions, check bool) ([]failures.Scenario, []sweepSlot, *SweepStats, error) {
+	start := time.Now()
+	stats := &SweepStats{}
+	var scenarios []failures.Scenario
+	plan.Instance.Failures.Enumerate(func(sc failures.Scenario) bool {
+		scenarios = append(scenarios, sc)
+		return true
+	})
+	stats.Scenarios = len(scenarios)
+	if len(scenarios) == 0 {
+		stats.Total = time.Since(start)
+		return nil, nil, stats, nil
+	}
+
+	var sw *Sweep
+	if !opts.Proportional {
+		sw = NewSweep(plan)
+		stats.BaseFactorTime = sw.baseTime
+	}
+
+	workers := sweepWorkerCount()
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	stats.Workers = workers
+
+	slots := make([]sweepSlot, len(scenarios))
+	perWorker := make([]SweepStats, workers)
+	g := plan.Instance.Graph
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := &perWorker[w]
+			var sr *sweepScratch
+			if sw != nil {
+				sr = sw.newScratch()
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(scenarios) {
+					return
+				}
+				sc := scenarios[i]
+				if ctx != nil {
+					if err := ctx.Err(); err != nil {
+						slots[i].err = fmt.Errorf("routing: scenario sweep canceled at %v: %w", sc, err)
+						slots[i].done = true
+						return
+					}
+				}
+				var r *Realization
+				var err error
+				if sw != nil {
+					var smw bool
+					var rank int
+					r, smw, rank, err = sw.realize(sc, sr)
+					if err == nil {
+						if smw {
+							ws.SMWHits++
+							if rank > ws.MaxRank {
+								ws.MaxRank = rank
+							}
+						} else {
+							ws.Fallbacks++
+						}
+					}
+				} else {
+					r, err = RealizeProportional(plan, sc)
+				}
+				if err == nil && check {
+					if sw != nil {
+						err = sw.Check(r)
+					} else {
+						err = CheckRealization(plan, r)
+					}
+				}
+				slots[i].done = true
+				if err != nil {
+					slots[i].err = err
+					return
+				}
+				mlu := 0.0
+				for a, load := range r.ArcLoad {
+					if c := g.ArcCapacity(topology.ArcID(a)); c > 0 {
+						if u := load / c; u > mlu {
+							mlu = u
+						}
+					}
+				}
+				slots[i].mlu = mlu
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, ws := range perWorker {
+		stats.SMWHits += ws.SMWHits
+		stats.Fallbacks += ws.Fallbacks
+		if ws.MaxRank > stats.MaxRank {
+			stats.MaxRank = ws.MaxRank
+		}
+	}
+	stats.Total = time.Since(start)
+	return scenarios, slots, stats, nil
+}
+
+// Validate replays every scenario of the plan's designed failure set,
+// realizes the routing, and verifies the congestion-free property: all
+// admitted demand is delivered and no arc exceeds its capacity.
+// Scenarios are swept in parallel through the incremental engine; the
+// reported error is the first failing scenario in enumeration order,
+// independent of scheduling.
+func Validate(plan *core.Plan, opts ValidateOptions) error {
+	return ValidateContext(nil, plan, opts)
+}
+
+// ValidateContext is Validate with a deadline: the sweep checks ctx
+// before every scenario and reports the cancellation as the error of
+// the first unrealized scenario. A nil ctx means no deadline.
+func ValidateContext(ctx context.Context, plan *core.Plan, opts ValidateOptions) error {
+	_, err := ValidateStats(ctx, plan, opts)
+	return err
+}
+
+// ValidateStats is ValidateContext returning the sweep statistics even
+// when validation fails.
+func ValidateStats(ctx context.Context, plan *core.Plan, opts ValidateOptions) (*SweepStats, error) {
+	scenarios, slots, stats, err := runSweep(ctx, plan, opts, true)
+	if err != nil {
+		return stats, err
+	}
+	for i := range slots {
+		if slots[i].err != nil {
+			return stats, slots[i].err
+		}
+		if !slots[i].done {
+			// Only reachable when every worker bailed early; the
+			// in-order scan surfaces the triggering error first, so an
+			// undone slot here means a logic error upstream.
+			return stats, fmt.Errorf("routing: scenario %v was never validated", scenarios[i])
+		}
+	}
+	return stats, nil
+}
+
+// WorstMLU replays every protected scenario and returns the maximum
+// link utilization observed and the scenario that produces it — the
+// data-plane counterpart of the plan's 1/z guarantee.
+func WorstMLU(plan *core.Plan, opts ValidateOptions) (float64, failures.Scenario, error) {
+	return WorstMLUContext(nil, plan, opts)
+}
+
+// WorstMLUContext is WorstMLU with a deadline. A nil ctx means no
+// deadline.
+func WorstMLUContext(ctx context.Context, plan *core.Plan, opts ValidateOptions) (float64, failures.Scenario, error) {
+	worst, sc, _, err := WorstMLUStats(ctx, plan, opts)
+	return worst, sc, err
+}
+
+// WorstMLUStats is WorstMLUContext returning the sweep statistics. On
+// error it returns the worst utilization over the scenarios preceding
+// the failing one in enumeration order (the serial loop's behavior).
+func WorstMLUStats(ctx context.Context, plan *core.Plan, opts ValidateOptions) (float64, failures.Scenario, *SweepStats, error) {
+	scenarios, slots, stats, err := runSweep(ctx, plan, opts, false)
+	if err != nil {
+		return 0, failures.Scenario{}, stats, err
+	}
+	worst := 0.0
+	var worstSc failures.Scenario
+	for i := range slots {
+		if slots[i].err != nil {
+			return worst, worstSc, stats, slots[i].err
+		}
+		if !slots[i].done {
+			return worst, worstSc, stats, fmt.Errorf("routing: scenario %v was never realized", scenarios[i])
+		}
+		if slots[i].mlu > worst {
+			worst = slots[i].mlu
+			worstSc = scenarios[i]
+		}
+	}
+	return worst, worstSc, stats, nil
+}
