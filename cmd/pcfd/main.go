@@ -1,0 +1,155 @@
+// pcfd is the plan-serving daemon: it owns a registry of solved
+// congestion-free plans and serves solve/realize/validate requests
+// over HTTP with admission control, validated atomic hot-swap,
+// crash-safe checkpointing, and a circuit breaker that steps the
+// solve ladder down under repeated numerical failures.
+//
+//	pcfd -topology Sprint -pairs 20 -state /var/lib/pcfd
+//	curl -X POST 'localhost:8080/v1/solve?scheme=best&timeout=60s'
+//	curl -X POST 'localhost:8080/v1/realize?links=3'
+//
+// See DESIGN.md §13 for the serving architecture and README.md for a
+// walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pcf/internal/core"
+	"pcf/internal/eval"
+	"pcf/internal/serve"
+)
+
+func die(err error) {
+	log.Print(err)
+	os.Exit(eval.ExitCode(err))
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pcfd: ")
+	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+	topo := flag.String("topology", "Sprint", "Topology Zoo name")
+	linksFile := flag.String("links", "", "load the topology from a links file (cmd/topogen format) instead")
+	tmFile := flag.String("tm", "", "load the traffic matrix from a file (requires -links)")
+	pairs := flag.Int("pairs", 20, "top-K demand pairs")
+	seed := flag.Int64("seed", 1, "traffic matrix seed")
+	f := flag.Int("f", 1, "simultaneous link failures to protect against")
+	stateDir := flag.String("state", "", "checkpoint directory (empty = no persistence)")
+	solveOnStart := flag.Bool("solve-on-start", true, "solve and publish a plan at boot when no checkpoint recovers")
+	solves := flag.Int("solves", 1, "max concurrent plan solves")
+	realizes := flag.Int("realizes", 0, "max concurrent realizations (0 = NumCPU)")
+	queue := flag.Int("queue", 8, "admission queue depth per class; beyond it requests are shed")
+	solveTimeout := flag.Duration("solve-timeout", 2*time.Minute, "default per-request solve deadline")
+	realizeTimeout := flag.Duration("realize-timeout", 10*time.Second, "default per-request realize deadline")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive numerical failures that trip a scheme's breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "breaker annealing period")
+	flag.Parse()
+
+	var setup *eval.Setup
+	var err error
+	if *linksFile != "" {
+		setup, err = eval.PrepareFiles(*linksFile, *tmFile, eval.Options{
+			Seed: *seed, MaxPairs: *pairs, FailureBudget: *f, TunnelsPerPair: 3,
+		})
+		*topo = *linksFile
+	} else {
+		setup, err = eval.Prepare(eval.Options{
+			Topology: *topo, Seed: *seed, MaxPairs: *pairs, FailureBudget: *f,
+		})
+	}
+	if err != nil {
+		die(err)
+	}
+	in := &core.Instance{
+		Graph: setup.Graph, TM: setup.TM, Tunnels: setup.Tunnels,
+		Failures: setup.Failures, Objective: core.DemandScale,
+	}
+	// The CLS augmentation gives the solve ladder its top rungs; FFC
+	// ignores the extra logical sequences.
+	clsIn, _, err := core.BuildCLSQuick(in)
+	if err != nil {
+		die(err)
+	}
+	log.Printf("%s: %d nodes, %d links, %d pairs, f=%d (%d scenarios)",
+		*topo, setup.Graph.NumNodes(), setup.Graph.NumLinks(), len(setup.Pairs),
+		*f, setup.Failures.NumScenariosExact())
+
+	srv, err := serve.NewServer(serve.Config{
+		Instance:              clsIn,
+		StateDir:              *stateDir,
+		MaxConcurrentSolves:   *solves,
+		MaxConcurrentRealizes: *realizes,
+		QueueDepth:            *queue,
+		DefaultSolveTimeout:   *solveTimeout,
+		DefaultRealizeTimeout: *realizeTimeout,
+		DrainTimeout:          *drainTimeout,
+		BreakerThreshold:      *breakerThreshold,
+		BreakerCooldown:       *breakerCooldown,
+		Logf:                  log.Printf,
+	})
+	if err != nil {
+		die(err)
+	}
+
+	// Recovery before first listen: a restarted daemon serves its last
+	// validated epoch immediately, without re-solving.
+	pub, err := srv.Recover(context.Background())
+	switch {
+	case err == nil:
+		log.Printf("recovered epoch %d (scheme %s, value %.4f)", pub.Epoch, pub.Scheme, pub.Value)
+	case errors.Is(err, serve.ErrNoSnapshot):
+		log.Printf("no checkpoint to recover, starting empty")
+		if *solveOnStart {
+			start := time.Now()
+			plan, err := core.SolveBest(clsIn, core.SolveOptions{Context: context.Background()})
+			if err != nil {
+				die(fmt.Errorf("boot solve: %w", err))
+			}
+			pub, err := srv.Registry().Publish(context.Background(), plan)
+			if err != nil {
+				die(fmt.Errorf("boot publish: %w", err))
+			}
+			log.Printf("boot solve published epoch %d (scheme %s, value %.4f) in %v",
+				pub.Epoch, pub.Scheme, pub.Value, time.Since(start).Round(time.Millisecond))
+		}
+	default:
+		die(fmt.Errorf("recovery: %w", err))
+	}
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv}
+	go func() {
+		log.Printf("listening on %s", *listen)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			die(err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	log.Printf("received %v, draining (budget %v)", got, *drainTimeout)
+
+	// Drain the serving core first (stops admitting, waits for
+	// in-flight work, hard-cancels at the deadline), then close the
+	// HTTP listener.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout+5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Printf("drained, exiting")
+}

@@ -18,13 +18,16 @@ import (
 
 	"pcf/internal/core"
 	"pcf/internal/eval"
-	"pcf/internal/failures"
-	"pcf/internal/mcf"
 	"pcf/internal/routing"
-	"pcf/internal/topology"
-	"pcf/internal/traffic"
-	"pcf/internal/tunnels"
 )
+
+// die prints the error and exits with the shared CLI code contract:
+// 2 when the -timeout budget expired, 3 when the LP is infeasible,
+// 1 otherwise.
+func die(err error) {
+	log.Print(err)
+	os.Exit(eval.ExitCode(err))
+}
 
 func main() {
 	log.SetFlags(0)
@@ -67,7 +70,9 @@ func main() {
 	var setup *eval.Setup
 	var err error
 	if *linksFile != "" {
-		setup, err = prepareFromFiles(*linksFile, *tmFile, *seed, *pairs, *f)
+		setup, err = eval.PrepareFiles(*linksFile, *tmFile, eval.Options{
+			Seed: *seed, MaxPairs: *pairs, FailureBudget: *f, TunnelsPerPair: 3,
+		})
 		*topo = *linksFile
 	} else {
 		setup, err = eval.Prepare(eval.Options{
@@ -75,7 +80,7 @@ func main() {
 		})
 	}
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	fmt.Printf("%s: %d nodes, %d links, %d pairs, f=%d (%d scenarios), no-failure MLU %.3f\n",
 		*topo, setup.Graph.NumNodes(), setup.Graph.NumLinks(), len(setup.Pairs),
@@ -89,12 +94,12 @@ func main() {
 		}
 		clsIn, _, err := core.BuildCLSQuick(in)
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		start := time.Now()
 		plan, err = core.SolveBest(clsIn, core.SolveOptions{Context: ctx})
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		fmt.Printf("%s guaranteed demand scale: %.4f (solved in %v)\n",
 			plan.Scheme, plan.Value, time.Since(start).Round(time.Millisecond))
@@ -107,7 +112,7 @@ func main() {
 	} else {
 		res, err := setup.RunContext(ctx, name)
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		fmt.Printf("%s guaranteed demand scale: %.4f (solved in %v)\n", res.Scheme, res.Value, res.Time.Round(1e6))
 		if res.Stats != "" {
@@ -130,12 +135,12 @@ func main() {
 			default:
 				clsIn, _, err2 := core.BuildCLSQuick(in)
 				if err2 != nil {
-					log.Fatal(err2)
+					die(err2)
 				}
 				plan, err = core.SolvePCFCLS(clsIn, core.SolveOptions{Context: ctx})
 			}
 			if err != nil {
-				log.Fatal(err)
+				die(err)
 			}
 		}
 		if *showRes {
@@ -185,51 +190,4 @@ func printReservations(plan *core.Plan) {
 		fmt.Fprintf(w, "%s\t%s\t%.3f\n", r.pair, r.path, r.res)
 	}
 	w.Flush()
-}
-
-// prepareFromFiles builds a Setup from user-supplied topology (and
-// optionally traffic) files in cmd/topogen's text format.
-func prepareFromFiles(linksPath, tmPath string, seed int64, pairs, f int) (*eval.Setup, error) {
-	lf, err := os.Open(linksPath)
-	if err != nil {
-		return nil, err
-	}
-	defer lf.Close()
-	g, err := topology.ReadLinks(lf, linksPath)
-	if err != nil {
-		return nil, err
-	}
-	var tm *traffic.Matrix
-	if tmPath != "" {
-		tf, err := os.Open(tmPath)
-		if err != nil {
-			return nil, err
-		}
-		defer tf.Close()
-		tm, err = traffic.ReadMatrix(tf, g.NumNodes())
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		tm = traffic.Gravity(g, traffic.GravityOptions{Seed: seed, Jitter: 0.4})
-	}
-	keep := tm.TopPairs(pairs)
-	tm = tm.Restrict(keep)
-	mlu, err := mcf.MinMLU(g, tm)
-	if err != nil {
-		return nil, err
-	}
-	ts, err := tunnels.Select(g, keep, tunnels.SelectOptions{PerPair: 3})
-	if err != nil {
-		return nil, err
-	}
-	return &eval.Setup{
-		Opts:     eval.Options{Topology: linksPath, Seed: seed, MaxPairs: pairs, FailureBudget: f, TunnelsPerPair: 3},
-		Graph:    g,
-		TM:       tm,
-		MLU:      mlu,
-		Pairs:    keep,
-		Tunnels:  ts,
-		Failures: failures.SingleLinks(g, f),
-	}, nil
 }

@@ -84,3 +84,42 @@ func mergeOnly() {
 		return
 	}
 }
+
+// Sweep-precompute shapes: NewSweepContext's inverse-column and
+// per-destination base solves run between cancellation points, so a
+// precompute loop that drives the solver without consulting a context
+// (or a column budget) regresses the deadline contract.
+
+func solveInverseColumn() bool { return false }
+
+func precomputeColumnsNoCheck() {
+	for { // want "unbounded loop calls solve machinery"
+		if !solveInverseColumn() {
+			return
+		}
+	}
+}
+
+func precomputeColumnsWithCtx(ctx context.Context) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return
+		}
+		if !solveInverseColumn() {
+			return
+		}
+	}
+}
+
+func precomputeColumnsWithBudget(maxCols int) {
+	cols := 0
+	for {
+		if !solveInverseColumn() {
+			return
+		}
+		cols++
+		if cols >= maxCols {
+			break
+		}
+	}
+}

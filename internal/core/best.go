@@ -43,6 +43,23 @@ func stripConditional(in *Instance) *Instance {
 // same congestion-free model family, so a downgrade weakens
 // optimality, never the proved guarantee of the plan that is returned.
 func SolveBest(in *Instance, opts SolveOptions) (*Plan, error) {
+	return SolveBestFrom(in, opts, 0)
+}
+
+// BestRungs names SolveBest's ladder in order, most expressive first.
+// Index i of this list is the rung SolveBestFrom(in, opts, i) starts
+// at.
+var BestRungs = []string{"PCF-CLS", "PCF-LS", "FFC"}
+
+// SolveBestFrom is SolveBest entered partway down the ladder: the
+// first skip rungs are not attempted at all. It exists for callers
+// that track rung health across solves — pcfd's circuit breaker steps
+// skip up after repeated numerical or cut-budget failures and anneals
+// it back, so a rung that keeps breaking stops burning the solve
+// budget of every request. Skipped rungs are not recorded in
+// Plan.Degraded (they were never tried); skip is clamped to keep at
+// least the last rung.
+func SolveBestFrom(in *Instance, opts SolveOptions, skip int) (*Plan, error) {
 	type rung struct {
 		name  string
 		solve func(*Instance, SolveOptions) (*Plan, error)
@@ -53,6 +70,13 @@ func SolveBest(in *Instance, opts SolveOptions) (*Plan, error) {
 		{"PCF-LS", SolvePCFLS, stripConditional(in)},
 		{"FFC", SolveFFC, in},
 	}
+	if skip < 0 {
+		skip = 0
+	}
+	if skip > len(rungs)-1 {
+		skip = len(rungs) - 1
+	}
+	rungs = rungs[skip:]
 
 	var degraded []string
 	var firstErr error

@@ -1,0 +1,45 @@
+package eval
+
+import (
+	"context"
+	"errors"
+
+	"pcf/internal/lp"
+)
+
+// CLI exit codes shared by pcfplan, pcfeval, and pcfd: scripts driving
+// the tools can tell "ran out of time" (retryable with a bigger
+// budget) from "the model has no solution" (not retryable) without
+// parsing error text.
+const (
+	ExitOK         = 0
+	ExitFailure    = 1 // any other error
+	ExitDeadline   = 2 // the -timeout budget expired
+	ExitInfeasible = 3 // the LP is infeasible (or unbounded: a modeling bug)
+)
+
+// ExitCode maps an error to the exit code contract above. It unwraps
+// with errors.Is/As, so deadline errors surfaced through any number of
+// fmt.Errorf %w layers — or carried inside an *lp.SolveError — still
+// classify correctly.
+func ExitCode(err error) int {
+	if err == nil {
+		return ExitOK
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ExitDeadline
+	}
+	if errors.Is(err, lp.ErrInfeasible) || errors.Is(err, lp.ErrUnbounded) {
+		return ExitInfeasible
+	}
+	var solveErr *lp.SolveError
+	if errors.As(err, &solveErr) {
+		if errors.Is(solveErr.Err, context.DeadlineExceeded) {
+			return ExitDeadline
+		}
+		if errors.Is(solveErr.Err, lp.ErrInfeasible) || errors.Is(solveErr.Err, lp.ErrUnbounded) {
+			return ExitInfeasible
+		}
+	}
+	return ExitFailure
+}

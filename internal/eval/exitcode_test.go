@@ -1,0 +1,40 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"pcf/internal/lp"
+)
+
+// TestExitCode pins the CLI exit-code contract: 2 for deadline, 3 for
+// infeasible/unbounded, 1 for anything else — through arbitrary
+// wrapping, including *lp.SolveError.
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, ExitOK},
+		{"plain deadline", context.DeadlineExceeded, ExitDeadline},
+		{"wrapped deadline", fmt.Errorf("core: SolveBest FFC: %w", context.DeadlineExceeded), ExitDeadline},
+		{"infeasible", lp.ErrInfeasible, ExitInfeasible},
+		{"wrapped infeasible", fmt.Errorf("core: %w", fmt.Errorf("lp: %w", lp.ErrInfeasible)), ExitInfeasible},
+		{"unbounded", fmt.Errorf("x: %w", lp.ErrUnbounded), ExitInfeasible},
+		{"solve error deadline", &lp.SolveError{Err: context.DeadlineExceeded}, ExitDeadline},
+		{"solve error infeasible", fmt.Errorf("wrap: %w", &lp.SolveError{Err: lp.ErrInfeasible}), ExitInfeasible},
+		{"numerical", fmt.Errorf("x: %w", lp.ErrNumerical), ExitFailure},
+		{"canceled", context.Canceled, ExitFailure},
+		{"opaque", errors.New("boom"), ExitFailure},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := ExitCode(c.err); got != c.want {
+				t.Fatalf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+			}
+		})
+	}
+}

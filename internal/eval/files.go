@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"os"
+
+	"pcf/internal/failures"
+	"pcf/internal/mcf"
+	"pcf/internal/topology"
+	"pcf/internal/traffic"
+	"pcf/internal/tunnels"
+)
+
+// PrepareFiles builds a Setup from user-supplied topology (and
+// optionally traffic) files in cmd/topogen's text format, the
+// file-based counterpart of Prepare. tmPath may be empty, in which
+// case a gravity matrix is generated from o.Seed. Unlike Prepare, the
+// traffic matrix is not rescaled to a target MLU — the files are taken
+// as given; the returned MLU is the optimal no-failure MLU of the
+// loaded matrix. Both pcfplan and pcfd load their instances through
+// this path.
+func PrepareFiles(linksPath, tmPath string, o Options) (*Setup, error) {
+	o = o.withDefaults()
+	lf, err := os.Open(linksPath)
+	if err != nil {
+		return nil, err
+	}
+	defer lf.Close()
+	g, err := topology.ReadLinks(lf, linksPath)
+	if err != nil {
+		return nil, err
+	}
+	var tm *traffic.Matrix
+	if tmPath != "" {
+		tf, err := os.Open(tmPath)
+		if err != nil {
+			return nil, err
+		}
+		defer tf.Close()
+		tm, err = traffic.ReadMatrix(tf, g.NumNodes())
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		tm = traffic.Gravity(g, traffic.GravityOptions{Seed: o.Seed, Jitter: 0.4})
+	}
+	keep := tm.TopPairs(o.MaxPairs)
+	tm = tm.Restrict(keep)
+	mlu, err := mcf.MinMLU(g, tm)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := tunnels.Select(g, keep, tunnels.SelectOptions{PerPair: o.TunnelsPerPair})
+	if err != nil {
+		return nil, err
+	}
+	opts := o
+	opts.Topology = linksPath
+	return &Setup{
+		Opts:     opts,
+		Graph:    g,
+		TM:       tm,
+		MLU:      mlu,
+		Pairs:    keep,
+		Tunnels:  ts,
+		Failures: failures.SingleLinks(g, o.FailureBudget),
+	}, nil
+}

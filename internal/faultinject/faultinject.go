@@ -11,6 +11,7 @@ package faultinject
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"pcf/internal/core"
 	"pcf/internal/failures"
@@ -217,4 +218,37 @@ func LPCorpus(seed int64) []*lp.Model {
 		corpus = append(corpus, m)
 	}
 	return corpus
+}
+
+// IllConditionedUpdates returns a hook for routing.SweepUpdateFault
+// that declares every everyN-th rank-k SMW update ill-conditioned
+// (wrapping linsolve.ErrIllConditioned), forcing those scenarios onto
+// the cold refactorization path. The sweep must count each forced
+// fallback in routing.SweepStats.Fallbacks and still produce results
+// bit-identical to a cold Realize — the fault changes the code path,
+// never the answer. everyN <= 1 fails every update. The second return
+// value reports how many updates were failed so far.
+func IllConditionedUpdates(everyN int) (func([]linsolve.RowUpdate) error, func() int) {
+	if everyN < 1 {
+		everyN = 1
+	}
+	// The parallel sweep calls the hook from several workers.
+	var mu sync.Mutex
+	seen, fired := 0, 0
+	hook := func(ups []linsolve.RowUpdate) error {
+		mu.Lock()
+		defer mu.Unlock()
+		seen++
+		if seen%everyN != 0 {
+			return nil
+		}
+		fired++
+		return fmt.Errorf("faultinject: rank-%d update declared ill-conditioned: %w",
+			len(ups), linsolve.ErrIllConditioned)
+	}
+	return hook, func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return fired
+	}
 }

@@ -101,6 +101,37 @@ func TestSolveLadderRungs(t *testing.T) {
 	}
 }
 
+// TestSolveBestFrom: entering the ladder partway down (the circuit
+// breaker's lever in pcfd) skips the leading rungs entirely — they are
+// neither solved nor recorded as degraded — and out-of-range skips
+// clamp instead of failing.
+func TestSolveBestFrom(t *testing.T) {
+	cases := []struct {
+		skip int
+		want string
+	}{
+		{0, "PCF-CLS"}, {1, "PCF-LS"}, {2, "FFC"}, {9, "FFC"}, {-1, "PCF-CLS"},
+	}
+	for _, tc := range cases {
+		plan, err := core.SolveBestFrom(ladderInstance(t), core.SolveOptions{}, tc.skip)
+		if err != nil {
+			t.Fatalf("skip %d: %v", tc.skip, err)
+		}
+		if plan.Scheme != tc.want {
+			t.Fatalf("skip %d served by %s, want %s", tc.skip, plan.Scheme, tc.want)
+		}
+		if len(plan.Degraded) != 0 {
+			t.Fatalf("skip %d recorded skipped rungs as degraded: %v", tc.skip, plan.Degraded)
+		}
+		if err := routing.Validate(plan, routing.ValidateOptions{}); err != nil {
+			t.Fatalf("skip %d: served plan fails validation: %v", tc.skip, err)
+		}
+	}
+	if len(core.BestRungs) != 3 || core.BestRungs[0] != "PCF-CLS" || core.BestRungs[2] != "FFC" {
+		t.Fatalf("BestRungs = %v, want the CLS→LS→FFC ladder", core.BestRungs)
+	}
+}
+
 // TestSolveLadderExhausted checks that when every rung fails the error
 // is typed and names the rungs tried.
 func TestSolveLadderExhausted(t *testing.T) {

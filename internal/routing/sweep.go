@@ -108,13 +108,44 @@ type Sweep struct {
 	maxRank   atomic.Int64
 }
 
+// SweepUpdateFault, when non-nil, is consulted once per rank-k SMW
+// update, before the update is applied; returning an error forces the
+// scenario onto the cold path, counted in SweepStats.Fallbacks exactly
+// like a genuinely ill-conditioned capacitance. It exists for fault
+// injection (internal/faultinject): tests prove the fallback stays
+// bit-equal to a cold Realize. Production code must leave it nil, and
+// it must not be changed while sweeps are running.
+var SweepUpdateFault func(ups []linsolve.RowUpdate) error
+
 // NewSweep builds the incremental realization engine for a plan. It
 // never fails: when the base matrix cannot be factored (or a base pair
 // has no live reservation) the engine serves every scenario through
 // the cold path, which reports the underlying problem per scenario
 // exactly as Realize does.
 func NewSweep(plan *core.Plan) *Sweep {
+	s, _ := NewSweepContext(nil, plan)
+	return s
+}
+
+// NewSweepContext is NewSweep with a cancellation point between every
+// precompute stage: the universe closure, the base factorization, the
+// inverse-column solves (checked every few columns — the O(n³) bulk of
+// the precompute), and the per-destination base solves. On
+// cancellation it returns nil and an error wrapping the context error,
+// so a deadline-bound caller (pcfd's publish path, the validation
+// sweep) is never stuck behind an unbounded factorization. A nil ctx
+// never fails.
+func NewSweepContext(ctx context.Context, plan *core.Plan) (*Sweep, error) {
 	start := time.Now()
+	stop := func() error {
+		if ctx == nil {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("routing: sweep precompute canceled: %w", err)
+		}
+		return nil
+	}
 	in := plan.Instance
 	s := &Sweep{
 		plan:     plan,
@@ -171,6 +202,9 @@ func NewSweep(plan *core.Plan) *Sweep {
 	}
 	s.n = len(s.pairs)
 	n := s.n
+	if err := stop(); err != nil {
+		return nil, err
+	}
 
 	// Tunnel indexes per universe row, and the link -> tunnels map used
 	// to find tunnels a failed link kills.
@@ -284,6 +318,9 @@ func NewSweep(plan *core.Plan) *Sweep {
 		}
 	}
 
+	if err := stop(); err != nil {
+		return nil, err
+	}
 	if n > 0 && diagOK {
 		if lu, err := linsolve.Factor(s.baseMat, n); err == nil {
 			s.lu = lu
@@ -291,6 +328,11 @@ func NewSweep(plan *core.Plan) *Sweep {
 			e := make([]float64, n)
 			ok := true
 			for r := 0; r < n && ok; r++ {
+				if r%32 == 0 {
+					if err := stop(); err != nil {
+						return nil, err
+					}
+				}
 				col := make([]float64, n)
 				e[r] = 1
 				if err := lu.SolveInto(col, e); err != nil {
@@ -306,6 +348,11 @@ func NewSweep(plan *core.Plan) *Sweep {
 			s.destBase = make([][]float64, len(s.dests))
 			dt := make([]float64, n)
 			for di, dst := range s.dests {
+				if di%32 == 0 {
+					if err := stop(); err != nil {
+						return nil, err
+					}
+				}
 				for r, p := range s.pairs {
 					dt[r] = 0
 					if p.Dst == dst {
@@ -324,7 +371,7 @@ func NewSweep(plan *core.Plan) *Sweep {
 	}
 	s.pool.New = func() any { return s.newScratch() }
 	s.baseTime = time.Since(start)
-	return s
+	return s, nil
 }
 
 // Check verifies Proposition 6's properties for a realization of this
@@ -648,6 +695,12 @@ func (s *Sweep) realize(sc failures.Scenario, sr *sweepScratch) (*Realization, b
 
 	var upd *linsolve.Updated
 	if k > 0 {
+		if hook := SweepUpdateFault; hook != nil {
+			if err := hook(ups); err != nil {
+				r, err := Realize(s.plan, sc)
+				return r, false, 0, err
+			}
+		}
 		cols := make([][]float64, k)
 		for j, up := range ups {
 			cols[j] = s.invCols[up.Row]
@@ -773,7 +826,12 @@ func runSweep(ctx context.Context, plan *core.Plan, opts ValidateOptions, check 
 
 	var sw *Sweep
 	if !opts.Proportional {
-		sw = NewSweep(plan)
+		var err error
+		sw, err = NewSweepContext(ctx, plan)
+		if err != nil {
+			stats.Total = time.Since(start)
+			return nil, nil, stats, err
+		}
 		stats.BaseFactorTime = sw.baseTime
 	}
 

@@ -9,6 +9,7 @@ import (
 
 	"pcf/internal/core"
 	"pcf/internal/failures"
+	"pcf/internal/linsolve"
 	"pcf/internal/topology"
 	"pcf/internal/topozoo"
 	"pcf/internal/traffic"
@@ -320,6 +321,98 @@ func TestValidateContextCanceled(t *testing.T) {
 	// An un-canceled context validates normally.
 	if err := ValidateContext(context.Background(), plan, ValidateOptions{}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestNewSweepContextCanceled: a dead context aborts the precompute
+// between stages with a wrapped context error, while a live (or nil)
+// context builds an engine that realizes scenarios exactly like
+// NewSweep — the cancellation points must not change any answer.
+func TestNewSweepContextCanceled(t *testing.T) {
+	plan := fig5CLSPlan(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewSweepContext(ctx, plan); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	live, err := NewSweepContext(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewSweep(plan)
+	plan.Instance.Failures.Enumerate(func(sc failures.Scenario) bool {
+		got, gerr := live.Realize(sc)
+		want, werr := ref.Realize(sc)
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("under %v: ctx engine err %v, nil-ctx engine err %v", sc, gerr, werr)
+		}
+		if gerr != nil {
+			return true
+		}
+		for i := range want.U {
+			if got.U[i] != want.U[i] {
+				t.Fatalf("under %v: U[%d] = %g, want %g", sc, i, got.U[i], want.U[i])
+			}
+		}
+		return true
+	})
+}
+
+// TestSweepUpdateFaultFallsBack: an injected SMW update fault forces
+// the cold path, counted as a fallback, and the served realization is
+// the cold path's bit for bit.
+func TestSweepUpdateFaultFallsBack(t *testing.T) {
+	plan := fig5CLSPlan(t)
+	// Baseline: without the fault, every scenario is either an SMW hit
+	// or a rank-guard fallback (2k > n) that never attempts an update.
+	base := NewSweep(plan)
+	plan.Instance.Failures.Enumerate(func(sc failures.Scenario) bool {
+		if _, err := base.Realize(sc); err != nil {
+			t.Fatalf("baseline under %v: %v", sc, err)
+		}
+		return true
+	})
+	st0 := base.Stats()
+	fired := 0
+	SweepUpdateFault = func(ups []linsolve.RowUpdate) error {
+		fired++
+		return fmt.Errorf("test: injected ill-conditioning: %w", linsolve.ErrIllConditioned)
+	}
+	defer func() { SweepUpdateFault = nil }()
+	sw := NewSweep(plan)
+	plan.Instance.Failures.Enumerate(func(sc failures.Scenario) bool {
+		got, gerr := sw.Realize(sc)
+		want, werr := Realize(plan, sc)
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("under %v: sweep err %v, cold err %v", sc, gerr, werr)
+		}
+		if gerr != nil {
+			return true
+		}
+		for i := range want.U {
+			if got.U[i] != want.U[i] {
+				t.Fatalf("under %v: U[%d] = %g, cold has %g (not bit-equal)", sc, i, got.U[i], want.U[i])
+			}
+		}
+		for a := range want.ArcLoad {
+			if got.ArcLoad[a] != want.ArcLoad[a] {
+				t.Fatalf("under %v: ArcLoad[%d] = %g, cold has %g (not bit-equal)", sc, a, got.ArcLoad[a], want.ArcLoad[a])
+			}
+		}
+		return true
+	})
+	if fired == 0 {
+		t.Fatal("fault hook never fired — no scenario produced a rank-k update")
+	}
+	st := sw.Stats()
+	// Every injected fault turned an SMW attempt into a counted
+	// fallback; scenarios served straight from the base solutions
+	// (k == 0) and rank-guard fallbacks are untouched by the hook.
+	if st.SMWHits+fired != st0.SMWHits {
+		t.Fatalf("SMWHits = %d with %d faults, baseline %d", st.SMWHits, fired, st0.SMWHits)
+	}
+	if st.Fallbacks != st0.Fallbacks+fired {
+		t.Fatalf("Fallbacks = %d, want baseline %d + %d injected", st.Fallbacks, st0.Fallbacks, fired)
 	}
 }
 

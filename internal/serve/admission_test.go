@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmissionConcurrencyAndShed fills one worker slot and one queue
+// slot, then checks the next arrival is shed immediately with
+// ErrOverloaded rather than queued.
+func TestAdmissionConcurrencyAndShed(t *testing.T) {
+	a := NewAdmission(1, 1, 1)
+	ctx := context.Background()
+
+	release1, err := a.Acquire(ctx, ClassSolve)
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+
+	// Second request queues; give it a moment to be counted.
+	queued := make(chan struct{})
+	var release2 func()
+	var err2 error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(queued)
+		release2, err2 = a.Acquire(ctx, ClassSolve)
+	}()
+	<-queued
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Queued(ClassSolve) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("second request never queued (queued=%d)", a.Queued(ClassSolve))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Third request exceeds the queue bound: shed, not blocked.
+	if _, err := a.Acquire(ctx, ClassSolve); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third acquire err = %v, want ErrOverloaded", err)
+	}
+	if a.Shed() != 1 {
+		t.Fatalf("Shed() = %d, want 1", a.Shed())
+	}
+
+	// The other class is unaffected.
+	releaseR, err := a.Acquire(ctx, ClassRealize)
+	if err != nil {
+		t.Fatalf("realize-class acquire: %v", err)
+	}
+	releaseR()
+
+	// Releasing the first slot admits the queued request.
+	release1()
+	wg.Wait()
+	if err2 != nil {
+		t.Fatalf("queued acquire: %v", err2)
+	}
+	release2()
+}
+
+// TestAdmissionContextCancel checks a queued waiter abandons the queue
+// when its context ends, returning the context error.
+func TestAdmissionContextCancel(t *testing.T) {
+	a := NewAdmission(1, 1, 4)
+	release, err := a.Acquire(context.Background(), ClassSolve)
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := a.Acquire(ctx, ClassSolve); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire err = %v, want DeadlineExceeded", err)
+	}
+	if q := a.Queued(ClassSolve); q != 0 {
+		t.Fatalf("Queued = %d after abandoned wait, want 0", q)
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	a := NewAdmission(2, 2, 100)
+	if s := a.RetryAfterSeconds(ClassSolve); s != 1 {
+		t.Fatalf("empty queue RetryAfter = %d, want 1", s)
+	}
+	// Synthetic backlog: 100 queued over 2 workers → capped at 30.
+	a.classes[ClassSolve].queued.Store(100)
+	if s := a.RetryAfterSeconds(ClassSolve); s != 30 {
+		t.Fatalf("deep queue RetryAfter = %d, want cap 30", s)
+	}
+	a.classes[ClassSolve].queued.Store(0)
+}

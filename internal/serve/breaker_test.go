@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"pcf/internal/core"
+	"pcf/internal/lp"
+)
+
+func TestTrippable(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{lp.ErrNumerical, true},
+		{fmt.Errorf("wrap: %w", lp.ErrNumerical), true},
+		{lp.ErrIterLimit, true},
+		{core.ErrCutLimit, true},
+		{lp.ErrInfeasible, false},
+		{context.DeadlineExceeded, false},
+		{errors.New("unrelated"), false},
+	}
+	for _, c := range cases {
+		if got := Trippable(c.err); got != c.want {
+			t.Errorf("Trippable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// TestBreakerTripAndAnneal drives a breaker through a full cycle with
+// an injected clock: trip at the threshold, climb one level per trip,
+// saturate at maxLevel, then anneal one level per cooldown.
+func TestBreakerTripAndAnneal(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewBreaker(2, 2, time.Minute)
+	b.now = func() time.Time { return now }
+
+	numerical := fmt.Errorf("solve: %w", lp.ErrNumerical)
+
+	if b.Level() != 0 {
+		t.Fatalf("fresh breaker level = %d, want 0", b.Level())
+	}
+	b.Record(numerical)
+	if b.Level() != 0 {
+		t.Fatalf("level after 1 failure = %d, want 0 (threshold 2)", b.Level())
+	}
+	b.Record(numerical)
+	if b.Level() != 1 {
+		t.Fatalf("level after 2 failures = %d, want 1", b.Level())
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+
+	// Two more failures: second trip, level 2 (the max).
+	b.Record(numerical)
+	b.Record(numerical)
+	if b.Level() != 2 {
+		t.Fatalf("level after 4 failures = %d, want 2", b.Level())
+	}
+	// Further failures cannot exceed maxLevel.
+	b.Record(numerical)
+	b.Record(numerical)
+	if b.Level() != 2 {
+		t.Fatalf("level saturated = %d, want 2", b.Level())
+	}
+
+	// One cooldown anneals one level; two anneal fully.
+	now = now.Add(61 * time.Second)
+	if b.Level() != 1 {
+		t.Fatalf("level after one cooldown = %d, want 1", b.Level())
+	}
+	now = now.Add(60 * time.Second)
+	if b.Level() != 0 {
+		t.Fatalf("level after two cooldowns = %d, want 0", b.Level())
+	}
+}
+
+// TestBreakerResetAndNeutralErrors checks that a success resets the
+// consecutive count and that non-trippable failures neither count nor
+// reset.
+func TestBreakerResetAndNeutralErrors(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewBreaker(2, 1, time.Minute)
+	b.now = func() time.Time { return now }
+
+	numerical := fmt.Errorf("solve: %w", lp.ErrNumerical)
+
+	// failure, success, failure: never reaches the threshold.
+	b.Record(numerical)
+	b.Record(nil)
+	b.Record(numerical)
+	if b.Level() != 0 {
+		t.Fatalf("level = %d, want 0 after success reset", b.Level())
+	}
+
+	// failure, neutral (infeasible), failure: the neutral error must
+	// not reset the count, so the second trippable failure trips.
+	b.Record(numerical)
+	b.Record(lp.ErrInfeasible)
+	b.Record(numerical)
+	if b.Level() != 1 {
+		t.Fatalf("level = %d, want 1 (neutral error must not reset)", b.Level())
+	}
+}

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"pcf/internal/core"
+)
+
+// Store persists validated plans as versioned JSON snapshots so a
+// restarted daemon recovers its last good epoch instead of re-solving.
+// The crash-safety discipline is the classic one: write to a temp file
+// in the same directory, fsync the file, rename it into place, fsync
+// the directory. A snapshot that fails to load is quarantined (renamed
+// to *.corrupt) rather than crash-looped on.
+type Store struct {
+	dir string
+	// fingerprint ties snapshots to the instance they were solved for;
+	// a snapshot from a different topology or demand matrix is treated
+	// as corrupt rather than deserialized into nonsense.
+	fingerprint string
+}
+
+// snapshot is the on-disk envelope around a serialized plan.
+type snapshot struct {
+	Epoch       uint64          `json:"epoch"`
+	Fingerprint string          `json:"fingerprint"`
+	SavedAt     time.Time       `json:"saved_at"`
+	Scheme      string          `json:"scheme"`
+	Plan        json.RawMessage `json:"plan"`
+}
+
+// NewStore opens (creating if needed) the checkpoint directory for the
+// given instance.
+func NewStore(dir string, in *core.Instance) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: creating state dir: %w", err)
+	}
+	return &Store{dir: dir, fingerprint: Fingerprint(in)}, nil
+}
+
+// Fingerprint is a cheap structural hash of an instance: enough to
+// reject snapshots from a different topology, demand matrix, tunnel
+// set, or LS catalog, without serializing the whole instance.
+func Fingerprint(in *core.Instance) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "nodes=%d links=%d arcs=%d\n",
+		in.Graph.NumNodes(), in.Graph.NumLinks(), in.Graph.NumArcs())
+	for _, l := range in.Graph.Links() {
+		fmt.Fprintf(h, "link %d %d %g\n", l.A, l.B, l.Capacity)
+	}
+	for _, p := range in.DemandPairs() {
+		fmt.Fprintf(h, "demand %d %d %g\n", p.Src, p.Dst, in.TM.At(p))
+	}
+	fmt.Fprintf(h, "tunnels=%d lss=%d obj=%s\n",
+		in.Tunnels.Len(), len(in.LSs), in.Objective)
+	for _, q := range in.LSs {
+		fmt.Fprintf(h, "ls %d %d %v cond=%v\n", q.Pair.Src, q.Pair.Dst, q.Hops, q.Cond)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func (s *Store) snapshotPath(epoch uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("plan-%012d.json", epoch))
+}
+
+// Save checkpoints the plan under the given epoch, durably: the
+// snapshot is fsync'd before the atomic rename, and the directory is
+// fsync'd after, so a crash at any point leaves either the previous
+// set of snapshots or the previous set plus this complete one — never
+// a torn file under the final name.
+func (s *Store) Save(epoch uint64, plan *core.Plan) error {
+	var planBuf bytes.Buffer
+	if err := plan.WriteJSON(&planBuf); err != nil {
+		return fmt.Errorf("serve: serializing plan for checkpoint: %w", err)
+	}
+	env := snapshot{
+		Epoch:       epoch,
+		Fingerprint: s.fingerprint,
+		SavedAt:     time.Now().UTC(),
+		Scheme:      plan.Scheme,
+		Plan:        json.RawMessage(planBuf.Bytes()),
+	}
+	data, err := json.MarshalIndent(&env, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: encoding checkpoint: %w", err)
+	}
+
+	tmp, err := os.CreateTemp(s.dir, "plan-*.tmp")
+	if err != nil {
+		return fmt.Errorf("serve: creating checkpoint temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	// Best-effort cleanup if any later step fails; after a successful
+	// rename the temp name no longer exists and the remove is a no-op.
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: writing checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: syncing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, s.snapshotPath(epoch)); err != nil {
+		return fmt.Errorf("serve: publishing checkpoint: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("serve: syncing state dir: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// ErrNoSnapshot reports that the store holds no loadable snapshot.
+var ErrNoSnapshot = errors.New("serve: no usable snapshot in state dir")
+
+// LoadLatest returns the newest snapshot that decodes, matches the
+// instance fingerprint, and deserializes into a plan. Snapshots that
+// fail any of those steps are quarantined — renamed to *.corrupt so
+// the next restart does not trip over them again — and the scan
+// continues with the next-older epoch. Validation of the recovered
+// plan is the registry's job; the store only guarantees structural
+// integrity.
+func (s *Store) LoadLatest(in *core.Instance, logf func(string, ...any)) (uint64, *core.Plan, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, nil, fmt.Errorf("serve: reading state dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if strings.HasPrefix(n, "plan-") && strings.HasSuffix(n, ".json") {
+			names = append(names, n)
+		}
+	}
+	// Newest epoch first; the zero-padded name makes this lexicographic.
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	for _, name := range names {
+		path := filepath.Join(s.dir, name)
+		epoch, plan, err := s.loadOne(path, in)
+		if err == nil {
+			return epoch, plan, nil
+		}
+		if errors.Is(err, fs.ErrNotExist) {
+			continue // raced with cleanup; nothing to quarantine
+		}
+		logf("serve: quarantining snapshot %s: %v", name, err)
+		if qerr := os.Rename(path, path+".corrupt"); qerr != nil {
+			logf("serve: quarantine rename failed for %s: %v", name, qerr)
+		}
+	}
+	return 0, nil, ErrNoSnapshot
+}
+
+func (s *Store) loadOne(path string, in *core.Instance) (uint64, *core.Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	var env snapshot
+	if err := json.Unmarshal(data, &env); err != nil {
+		return 0, nil, fmt.Errorf("decoding envelope: %w", err)
+	}
+	if env.Fingerprint != s.fingerprint {
+		return 0, nil, fmt.Errorf("instance fingerprint mismatch: snapshot %s, instance %s",
+			env.Fingerprint, s.fingerprint)
+	}
+	plan, err := core.ReadPlanJSON(bytes.NewReader(env.Plan), in)
+	if err != nil {
+		return 0, nil, err
+	}
+	return env.Epoch, plan, nil
+}

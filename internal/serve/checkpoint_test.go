@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStoreRoundTrip saves two epochs and checks LoadLatest returns
+// the newest with the plan's value intact.
+func TestStoreRoundTrip(t *testing.T) {
+	in, plan := testPlan(t)
+	st, err := NewStore(t.TempDir(), in)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	if err := st.Save(1, plan); err != nil {
+		t.Fatalf("Save(1): %v", err)
+	}
+	if err := st.Save(2, plan); err != nil {
+		t.Fatalf("Save(2): %v", err)
+	}
+	epoch, got, err := st.LoadLatest(in, t.Logf)
+	if err != nil {
+		t.Fatalf("LoadLatest: %v", err)
+	}
+	if epoch != 2 {
+		t.Fatalf("epoch = %d, want 2", epoch)
+	}
+	if math.Abs(got.Value-plan.Value) > 1e-12 {
+		t.Fatalf("recovered value %g, want %g", got.Value, plan.Value)
+	}
+	if got.Scheme != plan.Scheme {
+		t.Fatalf("recovered scheme %q, want %q", got.Scheme, plan.Scheme)
+	}
+}
+
+// TestStoreQuarantinesCorrupt corrupts the newest snapshot and checks
+// recovery falls back to the older epoch while the bad file is renamed
+// to *.corrupt — restart never crash-loops on a torn snapshot.
+func TestStoreQuarantinesCorrupt(t *testing.T) {
+	in, plan := testPlan(t)
+	dir := t.TempDir()
+	st, err := NewStore(dir, in)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	if err := st.Save(1, plan); err != nil {
+		t.Fatalf("Save(1): %v", err)
+	}
+	if err := st.Save(2, plan); err != nil {
+		t.Fatalf("Save(2): %v", err)
+	}
+	newest := st.snapshotPath(2)
+	if err := os.WriteFile(newest, []byte("{torn"), 0o644); err != nil {
+		t.Fatalf("corrupting snapshot: %v", err)
+	}
+
+	epoch, _, err := st.LoadLatest(in, t.Logf)
+	if err != nil {
+		t.Fatalf("LoadLatest after corruption: %v", err)
+	}
+	if epoch != 1 {
+		t.Fatalf("epoch = %d, want fallback to 1", epoch)
+	}
+	if _, err := os.Stat(newest + ".corrupt"); err != nil {
+		t.Fatalf("corrupt snapshot not quarantined: %v", err)
+	}
+	if _, err := os.Stat(newest); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt snapshot still present under original name: %v", err)
+	}
+
+	// A second scan must not trip over the quarantined file.
+	if epoch, _, err := st.LoadLatest(in, t.Logf); err != nil || epoch != 1 {
+		t.Fatalf("second LoadLatest = (%d, %v), want (1, nil)", epoch, err)
+	}
+}
+
+// TestStoreRejectsForeignFingerprint checks a snapshot written for a
+// different instance is quarantined instead of deserialized into
+// nonsense.
+func TestStoreRejectsForeignFingerprint(t *testing.T) {
+	in, plan := testPlan(t)
+	dir := t.TempDir()
+	st, err := NewStore(dir, in)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	if err := st.Save(1, plan); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	// Same dir, different instance: a rebuilt copy fingerprints the
+	// same, a scaled demand matrix does not.
+	other := testInstance()
+	if Fingerprint(in) != Fingerprint(other) {
+		t.Fatalf("identical instances should share a fingerprint")
+	}
+	other.TM = other.TM.Scale(0.5)
+	if Fingerprint(in) == Fingerprint(other) {
+		t.Fatalf("scaled instance should change the fingerprint")
+	}
+	st2, err := NewStore(dir, other)
+	if err != nil {
+		t.Fatalf("NewStore(other): %v", err)
+	}
+	if _, _, err := st2.LoadLatest(other, t.Logf); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("LoadLatest with foreign fingerprint = %v, want ErrNoSnapshot", err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.corrupt"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("quarantined files = %v (err %v), want exactly one", entries, err)
+	}
+	if !strings.HasSuffix(entries[0], ".json.corrupt") {
+		t.Fatalf("quarantine name %q, want *.json.corrupt", entries[0])
+	}
+}
+
+// TestStoreEmpty checks the empty-dir case is the typed ErrNoSnapshot.
+func TestStoreEmpty(t *testing.T) {
+	in, _ := testPlan(t)
+	st, err := NewStore(t.TempDir(), in)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	if _, _, err := st.LoadLatest(in, t.Logf); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("LoadLatest on empty dir = %v, want ErrNoSnapshot", err)
+	}
+}

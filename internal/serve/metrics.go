@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+
+	"pcf/internal/core"
+	"pcf/internal/mcf"
+	"pcf/internal/routing"
+)
+
+// Metrics live on a per-server expvar.Map rather than the process-wide
+// expvar registry: expvar.NewMap panics on duplicate names, which
+// would make a second Server in the same process (every test binary)
+// impossible. The map is served on the daemon's own /debug/vars.
+
+func (s *Server) initVars() {
+	m := new(expvar.Map).Init()
+	m.Set("requests", &s.requests)
+	m.Set("requests_denied", &s.deniedReqs)
+	m.Set("solve_failures", &s.solveFailures)
+	m.Set("admission_shed", expvar.Func(func() any { return s.adm.Shed() }))
+	m.Set("admission_queued_solve", expvar.Func(func() any { return s.adm.Queued(ClassSolve) }))
+	m.Set("admission_queued_realize", expvar.Func(func() any { return s.adm.Queued(ClassRealize) }))
+	m.Set("epoch", expvar.Func(func() any { return s.reg.Epoch() }))
+	m.Set("breakers", expvar.Func(func() any {
+		s.breakerMu.Lock()
+		defer s.breakerMu.Unlock()
+		out := map[string]any{}
+		for scheme, b := range s.breakers {
+			out[scheme] = map[string]any{"level": b.Level(), "trips": b.Trips()}
+		}
+		return out
+	}))
+	// The three engine statistics structs (satellite surface of the
+	// observability story): LP work behind the last solved plan, the
+	// realization sweep behind the last validation, and the warm-start
+	// MCF sweep behind the last /v1/optimal.
+	m.Set("core_solve_stats", expvar.Func(func() any {
+		s.statsMu.Lock()
+		defer s.statsMu.Unlock()
+		if !s.haveSolve {
+			return nil
+		}
+		return statsView(s.lastSolve)
+	}))
+	m.Set("routing_sweep_stats", expvar.Func(func() any {
+		s.statsMu.Lock()
+		st := s.lastValidate
+		s.statsMu.Unlock()
+		return sweepView(st)
+	}))
+	m.Set("serving_sweep_stats", expvar.Func(func() any {
+		pub, err := s.reg.Current()
+		if err != nil {
+			return nil
+		}
+		return sweepView(pub.Sweep.Stats())
+	}))
+	m.Set("mcf_sweep_stats", expvar.Func(func() any {
+		s.statsMu.Lock()
+		defer s.statsMu.Unlock()
+		if !s.haveMCF {
+			return nil
+		}
+		return mcfView(s.lastMCF)
+	}))
+	s.vars = m
+}
+
+// statsView, sweepView and mcfView flatten the engine stats structs
+// into JSON-friendly maps (durations as milliseconds).
+func statsView(st core.SolveStats) map[string]any {
+	return map[string]any{
+		"rounds":          st.Rounds,
+		"cuts":            st.Cuts,
+		"warm_hits":       st.WarmHits,
+		"lp_iterations":   st.LPIterations,
+		"compile_time_ms": st.CompileTime.Milliseconds(),
+	}
+}
+
+func sweepView(st routing.SweepStats) map[string]any {
+	return map[string]any{
+		"scenarios":           st.Scenarios,
+		"workers":             st.Workers,
+		"smw_hits":            st.SMWHits,
+		"fallbacks":           st.Fallbacks,
+		"max_rank":            st.MaxRank,
+		"smw_hit_rate":        st.SMWHitRate(),
+		"base_factor_time_ms": st.BaseFactorTime.Milliseconds(),
+		"total_ms":            st.Total.Milliseconds(),
+	}
+}
+
+func mcfView(st mcf.SweepStats) map[string]any {
+	return map[string]any{
+		"scenarios":       st.Scenarios,
+		"workers":         st.Workers,
+		"warm_hits":       st.WarmHits,
+		"cold_solves":     st.ColdSolves,
+		"warm_hit_rate":   st.WarmHitRate(),
+		"lp_iterations":   st.LPIterations,
+		"compile_time_ms": st.CompileTime.Milliseconds(),
+		"total_ms":        st.Total.Milliseconds(),
+	}
+}
+
+// handleVars serves the per-server metrics map in the standard
+// /debug/vars JSON shape.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprint(w, s.vars.String())
+}
+
+// Vars exposes the metrics map for tests.
+func (s *Server) Vars() *expvar.Map { return s.vars }

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pcf/internal/core"
+	"pcf/internal/routing"
+)
+
+// Published is one immutable epoch of the registry: a validated plan
+// together with its precomputed realization sweep. In-flight requests
+// hold the *Published they started with, so a hot-swap never changes
+// the plan under a request.
+type Published struct {
+	// Epoch increases by one per publication and survives restarts via
+	// the checkpoint store. Responses carry it so clients can tell
+	// which plan served them.
+	Epoch  uint64
+	Plan   *core.Plan
+	Sweep  *routing.Sweep
+	Scheme string
+	Value  float64
+	// Degraded lists the SolveBest rungs abandoned on the way to this
+	// plan (empty for fixed schemes and clean best solves).
+	Degraded []string
+	// Validated records the sweep statistics of the publication-time
+	// validation pass: every protected scenario was realized and
+	// checked congestion-free before this epoch became visible.
+	Validated   routing.SweepStats
+	PublishedAt time.Time
+}
+
+// Registry owns the currently published plan. Reads are a single
+// atomic pointer load; publication is serialized and follows the
+// validate → checkpoint → swap order, so the pointer can only ever
+// point at a plan that passed the full congestion-free sweep.
+type Registry struct {
+	mu    sync.Mutex // serializes Publish and Recover
+	cur   atomic.Pointer[Published]
+	store *Store // nil disables persistence
+	epoch uint64 // last assigned epoch; guarded by mu
+	logf  func(string, ...any)
+}
+
+// NewRegistry builds a registry. store may be nil (no persistence).
+func NewRegistry(store *Store, logf func(string, ...any)) *Registry {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Registry{store: store, logf: logf}
+}
+
+// Current returns the published epoch, or ErrNoPlan before the first
+// publication.
+func (r *Registry) Current() (*Published, error) {
+	if p := r.cur.Load(); p != nil {
+		return p, nil
+	}
+	return nil, ErrNoPlan
+}
+
+// Epoch returns the currently published epoch number (0 if none).
+func (r *Registry) Epoch() uint64 {
+	if p := r.cur.Load(); p != nil {
+		return p.Epoch
+	}
+	return 0
+}
+
+// Publish validates the plan, checkpoints it, and atomically swaps it
+// in as the new current epoch. If validation fails the previous epoch
+// stays published untouched — the rollback is that the swap never
+// happens — and the error wraps ErrValidation. A checkpoint failure is
+// logged but does not block publication: durability degrades, the
+// serving guarantee does not.
+func (r *Registry) Publish(ctx context.Context, plan *core.Plan) (*Published, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	stats, err := routing.ValidateStats(ctx, plan, routing.ValidateOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrValidation, err)
+	}
+	sweep, err := routing.NewSweepContext(ctx, plan)
+	if err != nil {
+		return nil, fmt.Errorf("serve: preparing sweep for new plan: %w", err)
+	}
+
+	epoch := r.epoch + 1
+	if r.store != nil {
+		if err := r.store.Save(epoch, plan); err != nil {
+			r.logf("serve: checkpoint of epoch %d failed (serving anyway): %v", epoch, err)
+		}
+	}
+
+	pub := &Published{
+		Epoch:       epoch,
+		Plan:        plan,
+		Sweep:       sweep,
+		Scheme:      plan.Scheme,
+		Value:       plan.Value,
+		Degraded:    plan.Degraded,
+		Validated:   *stats,
+		PublishedAt: time.Now().UTC(),
+	}
+	r.epoch = epoch
+	r.cur.Store(pub)
+	r.logf("serve: published epoch %d (scheme %s, value %g)", epoch, pub.Scheme, pub.Value)
+	return pub, nil
+}
+
+// Recover loads the newest usable snapshot from the store, re-runs the
+// full validation sweep on it (a snapshot that decodes but no longer
+// validates is quarantined like a corrupt one), and publishes it under
+// its original epoch. Returns ErrNoSnapshot when nothing on disk is
+// both loadable and valid; the daemon then starts empty and solves
+// fresh.
+func (r *Registry) Recover(ctx context.Context, in *core.Instance) (*Published, error) {
+	if r.store == nil {
+		return nil, ErrNoSnapshot
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	for {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("serve: recovery canceled: %w", err)
+			}
+		}
+		epoch, plan, err := r.store.LoadLatest(in, r.logf)
+		if err != nil {
+			return nil, err
+		}
+		stats, verr := routing.ValidateStats(ctx, plan, routing.ValidateOptions{})
+		if verr != nil {
+			path := r.store.snapshotPath(epoch)
+			r.logf("serve: recovered epoch %d fails validation, quarantining: %v", epoch, verr)
+			if qerr := os.Rename(path, path+".corrupt"); qerr != nil {
+				r.logf("serve: quarantine rename failed for epoch %d: %v", epoch, qerr)
+				return nil, fmt.Errorf("%w: epoch %d invalid and unquarantinable: %v", ErrValidation, epoch, verr)
+			}
+			continue
+		}
+		sweep, serr := routing.NewSweepContext(ctx, plan)
+		if serr != nil {
+			return nil, fmt.Errorf("serve: preparing sweep for recovered plan: %w", serr)
+		}
+		pub := &Published{
+			Epoch:       epoch,
+			Plan:        plan,
+			Sweep:       sweep,
+			Scheme:      plan.Scheme,
+			Value:       plan.Value,
+			Degraded:    plan.Degraded,
+			Validated:   *stats,
+			PublishedAt: time.Now().UTC(),
+		}
+		if epoch > r.epoch {
+			r.epoch = epoch
+		}
+		r.cur.Store(pub)
+		r.logf("serve: recovered epoch %d (scheme %s, value %g)", epoch, pub.Scheme, pub.Value)
+		return pub, nil
+	}
+}

@@ -1,0 +1,135 @@
+// Package serve is pcfd's serving layer: a long-lived, crash-safe
+// plan registry behind a stdlib-only HTTP API. It upholds the same
+// guarantee discipline as the LPs it fronts:
+//
+//   - no plan is ever served that did not pass the full
+//     congestion-free validation sweep (routing.ValidateStats) —
+//     publication is a validated atomic hot-swap with rollback, and
+//     in-flight requests finish on the plan they started with;
+//   - load is shed, not queued unboundedly: a bounded per-class
+//     admission queue returns ErrOverloaded (HTTP 503 + Retry-After)
+//     when full, and every admitted request carries a deadline that
+//     propagates into the ctx-aware solve/realize paths;
+//   - validated plans are checkpointed to a state directory with
+//     fsync + atomic rename, so a restarted daemon recovers its last
+//     good epoch without re-solving; corrupt snapshots are
+//     quarantined, never crash-looped on;
+//   - repeated numerical or cut-budget solve failures trip a
+//     per-scheme circuit breaker that steps the SolveBest ladder down
+//     (CLS→LS→FFC) and anneals back.
+//
+// See DESIGN.md §13 for the architecture.
+package serve
+
+import (
+	"errors"
+	"runtime"
+	"time"
+
+	"pcf/internal/core"
+	"pcf/internal/lp"
+)
+
+// Typed serving failures. Handlers map them to HTTP statuses; tests
+// and embedders select on them with errors.Is.
+var (
+	// ErrOverloaded reports that the admission queue for the request's
+	// class is full; the client should retry after the Retry-After
+	// hint.
+	ErrOverloaded = errors.New("serve: overloaded, queue full")
+	// ErrDraining reports that the server is shutting down and admits
+	// no new work.
+	ErrDraining = errors.New("serve: draining, not accepting new work")
+	// ErrNoPlan reports that no plan has been published yet.
+	ErrNoPlan = errors.New("serve: no plan published")
+	// ErrValidation reports that a freshly solved plan failed the
+	// congestion-free validation sweep and was rolled back, never
+	// published.
+	ErrValidation = errors.New("serve: plan failed validation, rolled back")
+	// ErrBreakerOpen reports that a fixed scheme's circuit breaker is
+	// open after repeated solver breakdowns.
+	ErrBreakerOpen = errors.New("serve: circuit breaker open for scheme")
+)
+
+// Config parameterizes a Server. The zero value of every field has a
+// serviceable default (see withDefaults); Instance is mandatory.
+type Config struct {
+	// Instance is the prepared problem: topology, demand, tunnels,
+	// failure set, and (for the LS/CLS/best schemes) logical
+	// sequences.
+	Instance *core.Instance
+	// StateDir is the checkpoint directory. Empty disables
+	// persistence: the daemon still serves, but restarts re-solve.
+	StateDir string
+
+	// MaxConcurrentSolves and MaxConcurrentRealizes bound the work
+	// running per class; QueueDepth bounds how many admitted requests
+	// may wait per class before new arrivals are shed.
+	MaxConcurrentSolves   int
+	MaxConcurrentRealizes int
+	QueueDepth            int
+
+	// DefaultSolveTimeout / DefaultRealizeTimeout apply when a request
+	// carries no ?timeout=; MaxRequestTimeout caps what a client may
+	// ask for.
+	DefaultSolveTimeout   time.Duration
+	DefaultRealizeTimeout time.Duration
+	MaxRequestTimeout     time.Duration
+
+	// DrainTimeout bounds graceful shutdown: in-flight requests get
+	// this long to finish before their contexts are hard-canceled.
+	DrainTimeout time.Duration
+
+	// BreakerThreshold consecutive trippable solve failures step a
+	// scheme's breaker one level; each BreakerCooldown without a
+	// further trip anneals one level back.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// LPFaultHook, when non-nil, is passed into every LP solve the
+	// server runs. It exists for fault injection (internal/faultinject
+	// chaos tests); production configs leave it nil.
+	LPFaultHook func(lp.FaultEvent) error
+	// MutatePlan, when non-nil, runs on every freshly solved plan
+	// before validation. It exists for fault injection: chaos tests
+	// corrupt plans here and assert the corrupted epochs are never
+	// published or served.
+	MutatePlan func(*core.Plan)
+
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrentSolves <= 0 {
+		c.MaxConcurrentSolves = 1
+	}
+	if c.MaxConcurrentRealizes <= 0 {
+		c.MaxConcurrentRealizes = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.DefaultSolveTimeout <= 0 {
+		c.DefaultSolveTimeout = 2 * time.Minute
+	}
+	if c.DefaultRealizeTimeout <= 0 {
+		c.DefaultRealizeTimeout = 10 * time.Second
+	}
+	if c.MaxRequestTimeout <= 0 {
+		c.MaxRequestTimeout = 5 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}

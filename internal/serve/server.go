@@ -1,0 +1,580 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pcf/internal/core"
+	"pcf/internal/failures"
+	"pcf/internal/lp"
+	"pcf/internal/mcf"
+	"pcf/internal/routing"
+	"pcf/internal/topology"
+)
+
+// Schemes the daemon can solve on demand. "best" runs the SolveBest
+// degradation ladder (under the breaker's current skip level); the
+// fixed schemes solve exactly one formulation and fail rather than
+// degrade.
+const (
+	SchemeBest = "best"
+)
+
+// fixedSchemes maps a request's scheme name to its solver. PCF-LS is
+// deliberately absent: it requires a conditional-free instance, which
+// the ladder derives internally (core.SolveBestFrom rung 1 covers it).
+var fixedSchemes = map[string]func(*core.Instance, core.SolveOptions) (*core.Plan, error){
+	"PCF-CLS": core.SolvePCFCLS,
+	"PCF-TF":  core.SolvePCFTF,
+	"FFC":     core.SolveFFC,
+}
+
+// Server is the pcfd serving core: admission gate, breaker bank, plan
+// registry, and HTTP surface. It implements http.Handler; cmd/pcfd
+// mounts it on an http.Server.
+type Server struct {
+	cfg  Config
+	inst *core.Instance
+	reg  *Registry
+	adm  *Admission
+
+	breakerMu sync.Mutex
+	breakers  map[string]*Breaker
+
+	// baseCtx is canceled when the drain deadline expires, hard-
+	// canceling every in-flight request context.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	drainMu  sync.RWMutex
+	draining bool
+	inflight sync.WaitGroup
+
+	mux  *http.ServeMux
+	vars *expvar.Map
+
+	statsMu       sync.Mutex
+	lastSolve     core.SolveStats
+	lastValidate  routing.SweepStats
+	lastMCF       mcf.SweepStats
+	haveSolve     bool
+	haveMCF       bool
+	requests      expvar.Map
+	deniedReqs    expvar.Int
+	solveFailures expvar.Int
+}
+
+// NewServer builds a server from the config. The instance must already
+// carry whatever logical sequences the configured schemes need (cmd/
+// pcfd runs core.BuildCLSQuick during preparation).
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Instance == nil {
+		return nil, errors.New("serve: Config.Instance is required")
+	}
+	if err := cfg.Instance.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: invalid instance: %w", err)
+	}
+	var store *Store
+	if cfg.StateDir != "" {
+		var err error
+		store, err = NewStore(cfg.StateDir, cfg.Instance)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := &Server{
+		cfg:      cfg,
+		inst:     cfg.Instance,
+		reg:      NewRegistry(store, cfg.Logf),
+		adm:      NewAdmission(cfg.MaxConcurrentSolves, cfg.MaxConcurrentRealizes, cfg.QueueDepth),
+		breakers: map[string]*Breaker{},
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.requests.Init()
+	s.initVars()
+	s.initMux()
+	return s, nil
+}
+
+// breaker returns (creating on first use) the scheme's breaker. The
+// ladder scheme may skip down to the last rung; a fixed scheme is
+// either closed or open.
+func (s *Server) breaker(scheme string) *Breaker {
+	s.breakerMu.Lock()
+	defer s.breakerMu.Unlock()
+	b := s.breakers[scheme]
+	if b == nil {
+		maxLevel := 1
+		if scheme == SchemeBest {
+			maxLevel = len(core.BestRungs) - 1
+		}
+		b = NewBreaker(s.cfg.BreakerThreshold, maxLevel, s.cfg.BreakerCooldown)
+		s.breakers[scheme] = b
+	}
+	return b
+}
+
+// Recover loads and republishes the newest valid checkpoint. Call once
+// at startup, before serving. ErrNoSnapshot (also returned when no
+// state dir is configured) means "start empty", not failure.
+func (s *Server) Recover(ctx context.Context) (*Published, error) {
+	return s.reg.Recover(ctx, s.inst)
+}
+
+// Registry exposes the plan registry (read-mostly; tests and cmd/pcfd
+// use it to inspect or seed epochs).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Admission exposes the admission gate for metrics and tests.
+func (s *Server) Admission() *Admission { return s.adm }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// enter registers an in-flight request; it fails once draining has
+// begun. The returned func must be called when the request finishes.
+func (s *Server) enter() (func(), error) {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	s.inflight.Add(1)
+	return func() { s.inflight.Done() }, nil
+}
+
+// Shutdown drains the server: new requests are rejected with
+// ErrDraining immediately, in-flight requests get DrainTimeout to
+// finish, then their contexts are hard-canceled. Returns ctx.Err() if
+// the caller's context expires before the drain completes.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainMu.Lock()
+	already := s.draining
+	s.draining = true
+	s.drainMu.Unlock()
+	if already {
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(s.cfg.DrainTimeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		return ctx.Err()
+	case <-timer.C:
+		// Drain deadline: hard-cancel whatever is still running and
+		// wait for the handlers to unwind.
+		s.cfg.Logf("serve: drain deadline expired, canceling in-flight requests")
+		s.baseCancel()
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// requestContext derives the handler context: the client's context
+// bounded by the (clamped) request timeout, and additionally canceled
+// when the server hard-cancels in-flight work at the drain deadline.
+func (s *Server) requestContext(r *http.Request, def time.Duration) (context.Context, context.CancelFunc) {
+	d := def
+	if raw := r.URL.Query().Get("timeout"); raw != "" {
+		if parsed, err := time.ParseDuration(raw); err == nil && parsed > 0 {
+			d = parsed
+		}
+	}
+	if d > s.cfg.MaxRequestTimeout {
+		d = s.cfg.MaxRequestTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// ---- HTTP surface ----
+
+func (s *Server) initMux() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/realize", s.handleRealize)
+	s.mux.HandleFunc("GET /v1/validate", s.handleValidate)
+	s.mux.HandleFunc("POST /v1/optimal", s.handleOptimal)
+	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+}
+
+func (s *Server) count(endpoint string) {
+	s.requests.Add(endpoint, 1)
+}
+
+// writeError maps typed serving and solver failures onto HTTP
+// statuses. Overload-shaped failures carry a Retry-After hint.
+func (s *Server) writeError(w http.ResponseWriter, class Class, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(s.adm.RetryAfterSeconds(class)))
+	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.DrainTimeout/time.Second)+1))
+	case errors.Is(err, ErrBreakerOpen):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.BreakerCooldown/time.Second)+1))
+	case errors.Is(err, ErrNoPlan):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrValidation),
+		errors.Is(err, lp.ErrInfeasible),
+		errors.Is(err, lp.ErrUnbounded):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = http.StatusServiceUnavailable
+	}
+	s.deniedReqs.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	writeJSON(w, map[string]any{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The response is already committed; an encode/write failure here
+	// only means the client went away.
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.count("healthz")
+	s.drainMu.RLock()
+	draining := s.draining
+	s.drainMu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, map[string]any{
+		"status":   "ok",
+		"draining": draining,
+		"epoch":    s.reg.Epoch(),
+	})
+}
+
+// planInfo is the metadata block shared by plan and solve responses.
+type planInfo struct {
+	Epoch       uint64    `json:"epoch"`
+	Scheme      string    `json:"scheme"`
+	Value       float64   `json:"value"`
+	Degraded    []string  `json:"degraded,omitempty"`
+	PublishedAt time.Time `json:"published_at"`
+	Scenarios   int       `json:"validated_scenarios"`
+}
+
+func infoOf(p *Published) planInfo {
+	return planInfo{
+		Epoch:       p.Epoch,
+		Scheme:      p.Scheme,
+		Value:       p.Value,
+		Degraded:    p.Degraded,
+		PublishedAt: p.PublishedAt,
+		Scenarios:   p.Validated.Scenarios,
+	}
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	s.count("plan")
+	done, err := s.enter()
+	if err != nil {
+		s.writeError(w, ClassRealize, err)
+		return
+	}
+	defer done()
+	pub, err := s.reg.Current()
+	if err != nil {
+		s.writeError(w, ClassRealize, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-PCF-Epoch", strconv.FormatUint(pub.Epoch, 10))
+	if r.URL.Query().Get("full") == "1" {
+		if err := pub.Plan.WriteJSON(w); err != nil {
+			s.cfg.Logf("serve: streaming plan: %v", err)
+		}
+		return
+	}
+	writeJSON(w, infoOf(pub))
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.count("solve")
+	done, err := s.enter()
+	if err != nil {
+		s.writeError(w, ClassSolve, err)
+		return
+	}
+	defer done()
+	ctx, cancel := s.requestContext(r, s.cfg.DefaultSolveTimeout)
+	defer cancel()
+
+	scheme := r.URL.Query().Get("scheme")
+	if scheme == "" {
+		scheme = SchemeBest
+	}
+	fixed, isFixed := fixedSchemes[scheme]
+	if !isFixed && scheme != SchemeBest {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		writeJSON(w, map[string]any{"error": fmt.Sprintf("serve: unknown scheme %q", scheme)})
+		return
+	}
+
+	release, err := s.adm.Acquire(ctx, ClassSolve)
+	if err != nil {
+		s.writeError(w, ClassSolve, err)
+		return
+	}
+	defer release()
+
+	br := s.breaker(scheme)
+	level := br.Level()
+	opts := core.SolveOptions{Context: ctx}
+	opts.LP.FaultHook = s.cfg.LPFaultHook
+
+	var plan *core.Plan
+	if isFixed {
+		if level > 0 {
+			s.writeError(w, ClassSolve, fmt.Errorf("%w: %s", ErrBreakerOpen, scheme))
+			return
+		}
+		plan, err = fixed(s.inst, opts)
+	} else {
+		plan, err = core.SolveBestFrom(s.inst, opts, level)
+	}
+	br.Record(err)
+	if err != nil {
+		s.solveFailures.Add(1)
+		s.writeError(w, ClassSolve, err)
+		return
+	}
+	if s.cfg.MutatePlan != nil {
+		s.cfg.MutatePlan(plan)
+	}
+
+	s.statsMu.Lock()
+	s.lastSolve = plan.Stats
+	s.haveSolve = true
+	s.statsMu.Unlock()
+
+	pub, err := s.reg.Publish(ctx, plan)
+	if err != nil {
+		s.writeError(w, ClassSolve, err)
+		return
+	}
+	s.statsMu.Lock()
+	s.lastValidate = pub.Validated
+	s.statsMu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-PCF-Epoch", strconv.FormatUint(pub.Epoch, 10))
+	resp := struct {
+		planInfo
+		BreakerLevel int `json:"breaker_level"`
+	}{infoOf(pub), level}
+	writeJSON(w, resp)
+}
+
+// parseScenario reads ?links=3,7,12 into a failure scenario over the
+// instance's topology.
+func (s *Server) parseScenario(r *http.Request) (failures.Scenario, error) {
+	sc := failures.Scenario{Dead: map[topology.LinkID]bool{}}
+	raw := strings.TrimSpace(r.URL.Query().Get("links"))
+	if raw == "" {
+		return sc, nil
+	}
+	for _, part := range strings.Split(raw, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return sc, fmt.Errorf("serve: bad link id %q: %w", part, err)
+		}
+		if id < 0 || id >= s.inst.Graph.NumLinks() {
+			return sc, fmt.Errorf("serve: link id %d out of range [0,%d)", id, s.inst.Graph.NumLinks())
+		}
+		sc.Dead[topology.LinkID(id)] = true
+	}
+	return sc, nil
+}
+
+func (s *Server) handleRealize(w http.ResponseWriter, r *http.Request) {
+	s.count("realize")
+	done, err := s.enter()
+	if err != nil {
+		s.writeError(w, ClassRealize, err)
+		return
+	}
+	defer done()
+	ctx, cancel := s.requestContext(r, s.cfg.DefaultRealizeTimeout)
+	defer cancel()
+
+	pub, err := s.reg.Current()
+	if err != nil {
+		s.writeError(w, ClassRealize, err)
+		return
+	}
+	sc, err := s.parseScenario(r)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		writeJSON(w, map[string]any{"error": err.Error()})
+		return
+	}
+	release, err := s.adm.Acquire(ctx, ClassRealize)
+	if err != nil {
+		s.writeError(w, ClassRealize, err)
+		return
+	}
+	defer release()
+	if err := ctx.Err(); err != nil {
+		s.writeError(w, ClassRealize, err)
+		return
+	}
+
+	real, err := pub.Sweep.Realize(sc)
+	if err != nil {
+		s.writeError(w, ClassRealize, err)
+		return
+	}
+	maxU := 0.0
+	for _, u := range real.U {
+		if u > maxU {
+			maxU = u
+		}
+	}
+	mlu := 0.0
+	g := s.inst.Graph
+	for a, load := range real.ArcLoad {
+		if c := g.ArcCapacity(topology.ArcID(a)); c > 0 {
+			if u := load / c; u > mlu {
+				mlu = u
+			}
+		}
+	}
+	var deadLinks []int
+	for l, dead := range sc.Dead {
+		if dead {
+			deadLinks = append(deadLinks, int(l))
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-PCF-Epoch", strconv.FormatUint(pub.Epoch, 10))
+	writeJSON(w, map[string]any{
+		"epoch":      pub.Epoch,
+		"scheme":     pub.Scheme,
+		"dead_links": deadLinks,
+		"pairs":      len(real.Pairs),
+		"max_u":      maxU,
+		"mlu":        mlu,
+	})
+}
+
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	s.count("validate")
+	done, err := s.enter()
+	if err != nil {
+		s.writeError(w, ClassRealize, err)
+		return
+	}
+	defer done()
+	ctx, cancel := s.requestContext(r, s.cfg.DefaultSolveTimeout)
+	defer cancel()
+
+	pub, err := s.reg.Current()
+	if err != nil {
+		s.writeError(w, ClassRealize, err)
+		return
+	}
+	release, err := s.adm.Acquire(ctx, ClassRealize)
+	if err != nil {
+		s.writeError(w, ClassRealize, err)
+		return
+	}
+	defer release()
+
+	stats, err := routing.ValidateStats(ctx, pub.Plan, routing.ValidateOptions{})
+	if stats != nil {
+		s.statsMu.Lock()
+		s.lastValidate = *stats
+		s.statsMu.Unlock()
+	}
+	if err != nil {
+		s.writeError(w, ClassRealize, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-PCF-Epoch", strconv.FormatUint(pub.Epoch, 10))
+	writeJSON(w, map[string]any{
+		"epoch":     pub.Epoch,
+		"valid":     true,
+		"scenarios": stats.Scenarios,
+		"smw_hits":  stats.SMWHits,
+		"fallbacks": stats.Fallbacks,
+	})
+}
+
+func (s *Server) handleOptimal(w http.ResponseWriter, r *http.Request) {
+	s.count("optimal")
+	done, err := s.enter()
+	if err != nil {
+		s.writeError(w, ClassSolve, err)
+		return
+	}
+	defer done()
+	ctx, cancel := s.requestContext(r, s.cfg.DefaultSolveTimeout)
+	defer cancel()
+
+	release, err := s.adm.Acquire(ctx, ClassSolve)
+	if err != nil {
+		s.writeError(w, ClassSolve, err)
+		return
+	}
+	defer release()
+
+	z, worst, stats, err := mcf.OptimalUnderFailuresStats(ctx, s.inst.Graph, s.inst.TM, s.inst.Failures)
+	if stats != nil {
+		s.statsMu.Lock()
+		s.lastMCF = *stats
+		s.haveMCF = true
+		s.statsMu.Unlock()
+	}
+	if err != nil {
+		s.writeError(w, ClassSolve, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, map[string]any{
+		"optimal":        z,
+		"worst_scenario": worst.String(),
+		"scenarios":      stats.Scenarios,
+		"warm_hits":      stats.WarmHits,
+	})
+}

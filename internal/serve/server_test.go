@@ -1,0 +1,494 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pcf/internal/core"
+	"pcf/internal/faultinject"
+	"pcf/internal/lp"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Instance == nil {
+		cfg.Instance = testInstance()
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func decodeBody(t *testing.T, resp *http.Response) map[string]any {
+	t.Helper()
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return m
+}
+
+func mustPost(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return resp
+}
+
+// TestServerSolvePlanRealizeValidate walks the happy path end to end:
+// solve publishes epoch 1, plan and realize serve it, validate re-runs
+// the sweep, and /debug/vars exposes the engine statistics.
+func TestServerSolvePlanRealizeValidate(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Before the first solve: no plan anywhere.
+	resp := mustGet(t, ts.URL+"/v1/plan")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /v1/plan before solve: status %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp = mustPost(t, ts.URL+"/v1/solve")
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /v1/solve: status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-PCF-Epoch"); got != "1" {
+		t.Fatalf("solve epoch header = %q, want 1", got)
+	}
+	solved := decodeBody(t, resp)
+	if solved["scheme"] != "PCF-CLS" {
+		t.Fatalf("solved scheme = %v, want PCF-CLS", solved["scheme"])
+	}
+
+	resp = mustGet(t, ts.URL+"/v1/plan")
+	info := decodeBody(t, resp)
+	if info["epoch"].(float64) != 1 {
+		t.Fatalf("plan epoch = %v, want 1", info["epoch"])
+	}
+	if info["validated_scenarios"].(float64) < 1 {
+		t.Fatalf("plan served without validated scenarios: %v", info)
+	}
+
+	// Full plan body decodes as a plan document.
+	resp = mustGet(t, ts.URL+"/v1/plan?full=1")
+	full := decodeBody(t, resp)
+	if full["scheme"] != "PCF-CLS" {
+		t.Fatalf("full plan scheme = %v", full["scheme"])
+	}
+
+	// Realize the failure of link 0; the plan is congestion-free, so
+	// MLU stays within the guarantee (1/value, plus round-off).
+	resp = mustGet(t, ts.URL+"/v1/plan")
+	resp.Body.Close()
+	resp = mustPost(t, ts.URL+"/v1/realize?links=0")
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /v1/realize: status %d: %s", resp.StatusCode, body)
+	}
+	real := decodeBody(t, resp)
+	if real["epoch"].(float64) != 1 {
+		t.Fatalf("realize epoch = %v, want 1", real["epoch"])
+	}
+	if mlu := real["mlu"].(float64); mlu > 1+1e-9 {
+		t.Fatalf("realized MLU %g exceeds the congestion-free bound", mlu)
+	}
+
+	// Bad scenario ids are a client error.
+	resp = mustPost(t, ts.URL+"/v1/realize?links=999")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("realize with bad link: status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp = mustGet(t, ts.URL+"/v1/validate")
+	val := decodeBody(t, resp)
+	if val["valid"] != true {
+		t.Fatalf("validate = %v, want valid", val)
+	}
+
+	resp = mustGet(t, ts.URL+"/debug/vars")
+	vars := decodeBody(t, resp)
+	if vars["epoch"].(float64) != 1 {
+		t.Fatalf("vars epoch = %v, want 1", vars["epoch"])
+	}
+	for _, key := range []string{"core_solve_stats", "routing_sweep_stats", "serving_sweep_stats", "requests"} {
+		if _, ok := vars[key]; !ok {
+			t.Fatalf("vars missing %q: %v", key, vars)
+		}
+	}
+	if vars["core_solve_stats"] == nil {
+		t.Fatalf("core_solve_stats still nil after a solve")
+	}
+
+	resp = mustGet(t, ts.URL+"/healthz")
+	health := decodeBody(t, resp)
+	if health["status"] != "ok" || health["draining"] != false {
+		t.Fatalf("health = %v", health)
+	}
+}
+
+// TestServerUnknownScheme is a client error, not a server failure.
+func TestServerUnknownScheme(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := mustPost(t, ts.URL+"/v1/solve?scheme=nonsense")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerValidationRollback corrupts every solved plan via the
+// MutatePlan fault hook and checks publication is refused with 422,
+// the epoch never advances, and the daemon keeps serving the previous
+// plan — an unvalidated plan is never visible.
+func TestServerValidationRollback(t *testing.T) {
+	var corrupt bool
+	var mu sync.Mutex
+	s, ts := newTestServer(t, Config{
+		MutatePlan: func(p *core.Plan) {
+			mu.Lock()
+			defer mu.Unlock()
+			if corrupt {
+				// Wreck the reservations: validation must now find an
+				// unrealizable or congested scenario.
+				for id := range p.TunnelRes {
+					p.TunnelRes[id] = 0
+				}
+				for id := range p.LSRes {
+					p.LSRes[id] = 0
+				}
+			}
+		},
+	})
+
+	resp := mustPost(t, ts.URL+"/v1/solve")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clean solve: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	mu.Lock()
+	corrupt = true
+	mu.Unlock()
+	resp = mustPost(t, ts.URL+"/v1/solve")
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("corrupted solve: status %d, want 422: %s", resp.StatusCode, body)
+	}
+	resp.Body.Close()
+
+	if got := s.Registry().Epoch(); got != 1 {
+		t.Fatalf("epoch after rejected publish = %d, want 1", got)
+	}
+	resp = mustGet(t, ts.URL+"/v1/plan")
+	info := decodeBody(t, resp)
+	if info["epoch"].(float64) != 1 {
+		t.Fatalf("served epoch = %v, want the pre-corruption 1", info["epoch"])
+	}
+}
+
+// TestServerBreakerStepsLadder injects numerical failures into every
+// LP start and checks: the "best" scheme degrades internally (the
+// ladder still lands on FFC), while repeated failures against the
+// fixed PCF-CLS scheme trip its breaker open and later requests are
+// rejected fast with 503 + Retry-After.
+func TestServerBreakerStepsLadder(t *testing.T) {
+	// Fail every PCF-CLS master solve start; FFC's model is the
+	// smallest, so let anything with few rows through. Simpler and
+	// robust: fail the first two starts of every request (CLS, LS),
+	// letting the third (FFC) through — for the ladder. For the fixed
+	// scheme, every request has exactly one start, which fails.
+	var mu sync.Mutex
+	failFirst := 2
+	perRequest := 0
+	hook := func(ev lp.FaultEvent) error {
+		if ev.Point != lp.FaultSolveStart {
+			return nil
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		perRequest++
+		if perRequest <= failFirst {
+			return fmt.Errorf("test: injected numerical breakdown: %w", lp.ErrNumerical)
+		}
+		return nil
+	}
+	s, ts := newTestServer(t, Config{
+		LPFaultHook:      hook,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour, // no annealing during the test
+	})
+
+	// Ladder request: CLS and LS rungs fail, FFC lands.
+	resp := mustPost(t, ts.URL+"/v1/solve?scheme=best")
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("ladder solve: status %d: %s", resp.StatusCode, body)
+	}
+	out := decodeBody(t, resp)
+	if out["scheme"] != "FFC" {
+		t.Fatalf("ladder landed on %v, want FFC", out["scheme"])
+	}
+	deg, _ := out["degraded"].([]any)
+	if len(deg) != 2 {
+		t.Fatalf("degraded = %v, want the two failed rungs", out["degraded"])
+	}
+
+	// Fixed scheme: each request's single start fails; after
+	// BreakerThreshold failures the breaker opens.
+	for i := 0; i < 2; i++ {
+		mu.Lock()
+		perRequest = 0
+		failFirst = 1
+		mu.Unlock()
+		resp := mustPost(t, ts.URL+"/v1/solve?scheme=PCF-CLS")
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("failing fixed solve %d: status %d, want 500", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if lvl := s.breaker("PCF-CLS").Level(); lvl != 1 {
+		t.Fatalf("fixed-scheme breaker level = %d, want 1 (open)", lvl)
+	}
+	resp = mustPost(t, ts.URL+"/v1/solve?scheme=PCF-CLS")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open-breaker solve: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("open-breaker response missing Retry-After")
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "circuit breaker") {
+		t.Fatalf("open-breaker body = %s", body)
+	}
+}
+
+// TestServerBreakerUsesFaultinjectLadder proves the serve breaker and
+// the faultinject ladder hooks compose: FailFirstNStarts(1, ...) on a
+// best solve degrades only the first rung.
+func TestServerBreakerUsesFaultinjectLadder(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		LPFaultHook: faultinject.FailFirstNStarts(1, lp.ErrNumerical),
+	})
+	resp := mustPost(t, ts.URL+"/v1/solve")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: status %d", resp.StatusCode)
+	}
+	out := decodeBody(t, resp)
+	if out["scheme"] != "PCF-LS" {
+		t.Fatalf("scheme = %v, want PCF-LS after one injected failure", out["scheme"])
+	}
+}
+
+// TestServerSheddingUnderLoad saturates the single solve worker and
+// the depth-1 queue with a blocked solve, then checks the overflow
+// request is shed immediately with 503 + Retry-After while the realize
+// class keeps serving.
+func TestServerSheddingUnderLoad(t *testing.T) {
+	gate := make(chan struct{})
+	var once sync.Once
+	hook := func(ev lp.FaultEvent) error {
+		if ev.Point == lp.FaultSolveStart {
+			<-gate // block the solve until the test releases it
+		}
+		return nil
+	}
+	_, ts := newTestServer(t, Config{
+		LPFaultHook:         hook,
+		MaxConcurrentSolves: 1,
+		QueueDepth:          1,
+	})
+	defer once.Do(func() { close(gate) })
+
+	// First solve occupies the worker (blocked inside the LP).
+	errc := make(chan error, 2)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/solve", "", nil)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	// Wait until it is actually inside the solver.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp := mustGet(t, ts.URL+"/debug/vars")
+		vars := decodeBody(t, resp)
+		reqs, _ := vars["requests"].(map[string]any)
+		if reqs != nil && reqs["solve"] != nil && reqs["solve"].(float64) >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("first solve never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Second solve sits in the queue.
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/solve?timeout=10s", "", nil)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	// Wait for it to be queued, then overflow with a third.
+	for {
+		resp := mustGet(t, ts.URL+"/debug/vars")
+		vars := decodeBody(t, resp)
+		if q, _ := vars["admission_queued_solve"].(float64); q >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("second solve never queued")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp := mustPost(t, ts.URL+"/v1/solve")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow solve: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("shed response missing Retry-After")
+	}
+	resp.Body.Close()
+
+	// Unblock and let the stacked solves finish.
+	once.Do(func() { close(gate) })
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatalf("stacked solve %d transport error: %v", i, err)
+		}
+	}
+}
+
+// TestServerDeadline checks a request deadline propagates into the
+// solver and maps to 504, within a small grace.
+func TestServerDeadline(t *testing.T) {
+	hook := func(ev lp.FaultEvent) error {
+		if ev.Point == lp.FaultIteration {
+			time.Sleep(2 * time.Millisecond) // make the solve slow
+		}
+		return nil
+	}
+	_, ts := newTestServer(t, Config{LPFaultHook: hook})
+	start := time.Now()
+	resp := mustPost(t, ts.URL+"/v1/solve?timeout=30ms")
+	elapsed := time.Since(start)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d, want 504: %s", resp.StatusCode, body)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("deadline 30ms, request took %v", elapsed)
+	}
+}
+
+// TestServerDrain checks shutdown semantics: draining rejects new
+// requests with 503, waits for in-flight work, and hard-cancels work
+// that outlives the drain deadline.
+func TestServerDrain(t *testing.T) {
+	started := make(chan struct{}, 1)
+	hook := func(ev lp.FaultEvent) error {
+		switch ev.Point {
+		case lp.FaultSolveStart:
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+		case lp.FaultIteration:
+			// Slow the solve enough that it outlives the drain
+			// deadline; the solver's per-iteration context check turns
+			// the hard-cancel into a prompt abort.
+			time.Sleep(2 * time.Millisecond)
+		}
+		return nil
+	}
+	s, ts := newTestServer(t, Config{
+		LPFaultHook:  hook,
+		DrainTimeout: 50 * time.Millisecond,
+	})
+
+	respc := make(chan *http.Response, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/solve", "", nil)
+		if err != nil {
+			respc <- nil
+			return
+		}
+		respc <- resp
+	}()
+	<-started
+
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(context.Background()) }()
+
+	// New work is rejected once draining.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp := mustGet(t, ts.URL+"/healthz")
+		h := decodeBody(t, resp)
+		if h["draining"] == true {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never reported draining")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	resp := mustPost(t, ts.URL+"/v1/solve")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("solve during drain: status %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// The slow solve outlives the 50ms drain deadline; Shutdown then
+	// hard-cancels its context, the LP aborts at the next iteration
+	// checkpoint, and the drain completes.
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("Shutdown did not complete after drain deadline")
+	}
+	resp = <-respc
+	if resp == nil {
+		t.Fatalf("in-flight solve transport error")
+	}
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("hard-canceled solve returned 200")
+	}
+	resp.Body.Close()
+}

@@ -36,6 +36,13 @@ go run ./cmd/pcflint ./...
 echo "== go build"
 go build ./...
 
+echo "== go build cmd/pcfd"
+# Link the daemon binary explicitly: `go build ./...` type-checks main
+# packages but a broken link (e.g. a bad linker flag or a main-only
+# symbol clash) only surfaces when the binary is actually produced.
+go build -o /tmp/pcfd.check ./cmd/pcfd
+rm -f /tmp/pcfd.check
+
 echo "== go test -race"
 go test -race ./...
 
