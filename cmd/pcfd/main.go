@@ -8,8 +8,18 @@
 //	curl -X POST 'localhost:8080/v1/solve?scheme=best&timeout=60s'
 //	curl -X POST 'localhost:8080/v1/realize?links=3'
 //
-// See DESIGN.md §13 for the serving architecture and README.md for a
-// walkthrough.
+// With -role the daemon joins a fleet: a planner additionally
+// publishes epoch-stamped plan envelopes and grants leases over
+// /v1/fleet/*; a replica pulls validated plans from its planner,
+// re-validates them locally, and refuses direct solves. cmd/pcffe is
+// the matching front end.
+//
+//	pcfd -role planner  -topology Sprint -state /var/lib/pcfd-planner
+//	pcfd -role replica  -topology Sprint -planner http://planner:8080 \
+//	     -listen :8081 -advertise http://replica1:8081 -state /var/lib/pcfd-r1
+//
+// See DESIGN.md §13 for the serving architecture, §14 for the fleet,
+// and README.md for walkthroughs.
 package main
 
 import (
@@ -26,6 +36,7 @@ import (
 
 	"pcf/internal/core"
 	"pcf/internal/eval"
+	"pcf/internal/fleet"
 	"pcf/internal/serve"
 )
 
@@ -54,7 +65,26 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
 	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive numerical failures that trip a scheme's breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "breaker annealing period")
+	retain := flag.Int("retain", 0, "checkpoints to keep per class (0 = default, negative = unlimited)")
+	role := flag.String("role", "", `fleet role: "planner", "replica", or empty for standalone`)
+	plannerURL := flag.String("planner", "", "planner base URL (required with -role replica)")
+	advertise := flag.String("advertise", "", "this replica's base URL as the planner reaches it (enables push)")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "planner: lease lifetime granted to replicas")
+	syncInterval := flag.Duration("sync-interval", 0, "replica: heartbeat/sync cadence (0 = a third of the lease TTL)")
 	flag.Parse()
+
+	switch *role {
+	case "", "planner":
+	case "replica":
+		if *plannerURL == "" {
+			die(errors.New("-role replica requires -planner"))
+		}
+		// Plans reach a replica only through the planner's distribution
+		// path; a boot solve would fork the epoch sequence.
+		*solveOnStart = false
+	default:
+		die(fmt.Errorf("unknown -role %q (want planner, replica, or empty)", *role))
+	}
 
 	var setup *eval.Setup
 	var err error
@@ -96,6 +126,7 @@ func main() {
 		DrainTimeout:          *drainTimeout,
 		BreakerThreshold:      *breakerThreshold,
 		BreakerCooldown:       *breakerCooldown,
+		RetainCheckpoints:     *retain,
 		Logf:                  log.Printf,
 	})
 	if err != nil {
@@ -127,7 +158,31 @@ func main() {
 		die(fmt.Errorf("recovery: %w", err))
 	}
 
-	httpSrv := &http.Server{Addr: *listen, Handler: srv}
+	// Role wiring: the handler pcfd mounts, plus whatever background
+	// loop the role needs.
+	handler := http.Handler(srv)
+	var planner *fleet.Planner
+	ctx, stopLoops := context.WithCancel(context.Background())
+	defer stopLoops()
+	switch *role {
+	case "planner":
+		planner = fleet.NewPlanner(srv, fleet.PlannerConfig{LeaseTTL: *leaseTTL, Logf: log.Printf})
+		handler = planner
+		log.Printf("fleet planner: plan distribution on %s, leases on %s", fleet.PlanPath, fleet.LeasePath)
+	case "replica":
+		rep := fleet.NewReplica(srv, fleet.ReplicaConfig{
+			Name:         *listen,
+			PlannerURL:   *plannerURL,
+			AdvertiseURL: *advertise,
+			Interval:     *syncInterval,
+			Logf:         log.Printf,
+		})
+		handler = rep
+		go rep.Run(ctx)
+		log.Printf("fleet replica: syncing from %s", *plannerURL)
+	}
+
+	httpSrv := &http.Server{Addr: *listen, Handler: handler}
 	go func() {
 		log.Printf("listening on %s", *listen)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -145,11 +200,15 @@ func main() {
 	// HTTP listener.
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout+5*time.Second)
 	defer cancel()
+	stopLoops()
 	if err := srv.Shutdown(drainCtx); err != nil {
 		log.Printf("drain: %v", err)
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		log.Printf("http shutdown: %v", err)
+	}
+	if planner != nil {
+		planner.Drain()
 	}
 	log.Printf("drained, exiting")
 }

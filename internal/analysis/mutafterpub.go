@@ -5,30 +5,37 @@ import (
 	"go/types"
 )
 
-// MutAfterPub treats published plans and realizations as immutable.
-// A core.Plan returned by Solve* carries the proved guarantee (its
-// reservations satisfy P1/P2 for the designed failure set); a
-// routing.Realization returned by Realize* has passed — or will be
-// passed through — CheckRealization. If a caller mutates their maps or
-// slices afterwards (plan.TunnelRes[t] = ..., r.ArcLoad[a] += ...),
-// the proof no longer covers the object anyone else sees. The analyzer
-// flags, outside the defining package, any assignment through a field
-// selector of these types (direct field writes, element writes through
-// a field, delete on a field map). The defining packages stay free to
-// build and post-process their own values (extractPlan, RemoveCycles).
+// MutAfterPub treats published plans, realizations, and fleet
+// envelopes as immutable. A core.Plan returned by Solve* carries the
+// proved guarantee (its reservations satisfy P1/P2 for the designed
+// failure set); a routing.Realization returned by Realize* has passed
+// — or will be passed through — CheckRealization; a serve.Envelope is
+// the checkpoint/wire form of a validated plan and a serve.Published
+// is the hot-swapped epoch that concurrent requests read lock-free.
+// If a caller mutates their maps, slices or fields afterwards
+// (plan.TunnelRes[t] = ..., env.Plan = ...), the proof — or the
+// epoch another replica installed — no longer covers the object anyone
+// else sees. The analyzer flags, outside the defining package, any
+// assignment through a field selector of these types (direct field
+// writes, element writes through a field, delete on a field map). The
+// defining packages stay free to build and post-process their own
+// values (extractPlan, RemoveCycles, NewEnvelope); everyone else
+// builds a new value instead of editing in place.
 var MutAfterPub = &Analyzer{
 	Name: "mutafterpub",
-	Doc:  "core.Plan / routing.Realization must not be mutated outside their packages",
+	Doc:  "core.Plan / routing.Realization / serve.Envelope / serve.Published must not be mutated outside their packages",
 	Run:  runMutAfterPub,
 }
 
 // publishedTypes lists (package base name, type name) pairs protected
 // by the analyzer. Matching uses the package path's last element so the
-// golden-test tree (core, routing) matches like the real module
-// (pcf/internal/core, pcf/internal/routing).
+// golden-test tree (core, routing, serve) matches like the real module
+// (pcf/internal/core, pcf/internal/routing, pcf/internal/serve).
 var publishedTypes = [][2]string{
 	{"core", "Plan"},
 	{"routing", "Realization"},
+	{"serve", "Envelope"},
+	{"serve", "Published"},
 }
 
 func runMutAfterPub(pass *Pass) {

@@ -1,11 +1,12 @@
 // Package mutafterpub exercises the mutafterpub analyzer: published
-// core.Plan / routing.Realization values are immutable outside their
-// defining packages.
+// core.Plan / routing.Realization / serve.Envelope / serve.Published
+// values are immutable outside their defining packages.
 package mutafterpub
 
 import (
 	"core"
 	"routing"
+	"serve"
 )
 
 // local shares field names with core.Plan but is not protected.
@@ -28,6 +29,19 @@ func mutate(p *core.Plan, r *routing.Realization, l *local) {
 	p.Normalize()        // method call: allowed
 }
 
+// mutateFleet covers the fleet wire types: an envelope that has been
+// published or sent, and a hot-swapped epoch, are both frozen.
+func mutateFleet(env *serve.Envelope, pub *serve.Published) {
+	env.Epoch = 9             // want "mutates field Epoch of a published serve.Envelope"
+	env.Fingerprint = "beef"  // want "mutates field Fingerprint of a published serve.Envelope"
+	env.Plan[0] = 'x'         // want "mutates field Plan of a published serve.Envelope"
+	pub.Epoch++               // want "mutates field Epoch of a published serve.Published"
+	pub.Degraded[0] = "worse" // want "mutates field Degraded of a published serve.Published"
+
+	_ = env.Epoch  // reading: allowed
+	_ = pub.Scheme // reading: allowed
+}
+
 // rebuild shows the sanctioned pattern: build the new maps first, then
 // publish the copy via a composite literal.
 func rebuild(p *core.Plan) *core.Plan {
@@ -36,4 +50,12 @@ func rebuild(p *core.Plan) *core.Plan {
 		z[k] = v
 	}
 	return &core.Plan{Scheme: p.Scheme, Score: p.Score, Z: z}
+}
+
+// rebuildEnvelope is the fleet-side sanctioned pattern: a corrupted or
+// re-stamped envelope is a NEW envelope.
+func rebuildEnvelope(env *serve.Envelope, epoch uint64) *serve.Envelope {
+	plan := make([]byte, len(env.Plan))
+	copy(plan, env.Plan)
+	return &serve.Envelope{Epoch: epoch, Fingerprint: env.Fingerprint, Plan: plan}
 }

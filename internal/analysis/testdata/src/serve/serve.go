@@ -1,0 +1,24 @@
+// Package serve defines the published Envelope and Published types for
+// the mutafterpub golden test; their shapes mirror the real
+// serve.Envelope and serve.Published.
+package serve
+
+// Envelope is the epoch-stamped checkpoint/wire form of a plan. Once
+// published or sent it is immutable outside this package.
+type Envelope struct {
+	Epoch       uint64
+	Fingerprint string
+	Plan        []byte
+}
+
+// Published is one hot-swapped epoch, read lock-free by requests.
+type Published struct {
+	Epoch    uint64
+	Scheme   string
+	Degraded []string
+}
+
+// stamp mutates in place; the defining package is free to do so.
+func (e *Envelope) stamp(epoch uint64) {
+	e.Epoch = epoch
+}

@@ -96,3 +96,56 @@ func TestRetryAfterSeconds(t *testing.T) {
 	}
 	a.classes[ClassSolve].queued.Store(0)
 }
+
+// TestRetryAfterClampAtQueueFull fills a 1-worker gate to its exact
+// queue bound and checks both edges: the next arrival is shed with
+// ErrOverloaded, and the Retry-After hint — which would extrapolate to
+// queue/workers seconds — is clamped at 30 so a deep queue never tells
+// clients to go away for minutes.
+func TestRetryAfterClampAtQueueFull(t *testing.T) {
+	const depth = 100
+	a := NewAdmission(1, 1, depth)
+
+	// Occupy the lone solve worker.
+	release, err := a.Acquire(context.Background(), ClassSolve)
+	if err != nil {
+		t.Fatalf("occupying worker: %v", err)
+	}
+
+	// Fill the queue to exactly its bound with blocked waiters.
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < depth; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := a.Acquire(ctx, ClassSolve); err == nil {
+				t.Error("queued waiter admitted; want cancellation")
+			}
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Queued(ClassSolve) < depth {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue filled to %d of %d", a.Queued(ClassSolve), depth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The boundary request is shed...
+	if _, err := a.Acquire(context.Background(), ClassSolve); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("boundary Acquire = %v, want ErrOverloaded", err)
+	}
+	// ...and the hint it would be sent is the clamp, not 1+100/1.
+	if got := a.RetryAfterSeconds(ClassSolve); got != 30 {
+		t.Fatalf("RetryAfterSeconds at full queue = %d, want clamped 30", got)
+	}
+
+	cancel()
+	wg.Wait()
+	release()
+	// Drained: the hint relaxes back to the floor.
+	if got := a.RetryAfterSeconds(ClassSolve); got != 1 {
+		t.Fatalf("RetryAfterSeconds after drain = %d, want 1", got)
+	}
+}

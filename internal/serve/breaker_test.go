@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -106,5 +107,90 @@ func TestBreakerResetAndNeutralErrors(t *testing.T) {
 	b.Record(numerical)
 	if b.Level() != 1 {
 		t.Fatalf("level = %d, want 1 (neutral error must not reset)", b.Level())
+	}
+}
+
+// TestBreakerConcurrentTripsAnneal hammers one breaker from many
+// goroutines (trippable failures, successes, and Level reads all
+// interleaved) and then checks the cooldown annealing arithmetic is
+// still exact: the level never exceeds maxLevel, never goes negative,
+// and steps down one per elapsed cooldown — concurrent trips must not
+// corrupt the annealing clock. Run under -race this doubles as the
+// breaker's data-race proof.
+func TestBreakerConcurrentTripsAnneal(t *testing.T) {
+	const (
+		maxLevel = 4
+		workers  = 8
+		rounds   = 200
+	)
+	var clockMu sync.Mutex
+	now := time.Unix(5000, 0)
+	b := NewBreaker(1, maxLevel, time.Minute)
+	b.now = func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return now
+	}
+	numerical := fmt.Errorf("solve: %w", lp.ErrNumerical)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				switch {
+				case w%3 == 2 && i%7 == 0:
+					b.Record(nil)
+				case w%3 == 1 && i%5 == 0:
+					if l := b.Level(); l < 0 || l > maxLevel {
+						panic(fmt.Sprintf("level %d out of [0,%d]", l, maxLevel))
+					}
+				default:
+					b.Record(numerical)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// With threshold 1 and ~hundreds of trippable failures, the breaker
+	// must sit at its ceiling.
+	if got := b.Level(); got != maxLevel {
+		t.Fatalf("level after concurrent trips = %d, want %d", got, maxLevel)
+	}
+	trips := b.Trips()
+	if trips < int64(maxLevel) {
+		t.Fatalf("trips = %d, want >= %d", trips, maxLevel)
+	}
+
+	// Annealing: exactly one level per cooldown, down to zero, and
+	// concurrent reads during the anneal agree monotonically.
+	for want := maxLevel - 1; want >= 0; want-- {
+		clockMu.Lock()
+		now = now.Add(time.Minute)
+		clockMu.Unlock()
+		var wg2 sync.WaitGroup
+		levels := make([]int, workers)
+		for w := 0; w < workers; w++ {
+			wg2.Add(1)
+			go func(w int) {
+				defer wg2.Done()
+				levels[w] = b.Level()
+			}(w)
+		}
+		wg2.Wait()
+		for w, l := range levels {
+			if l != want {
+				t.Fatalf("reader %d saw level %d after anneal step, want %d", w, l, want)
+			}
+		}
+	}
+	if got := b.Level(); got != 0 {
+		t.Fatalf("level after full anneal = %d, want 0", got)
+	}
+	// Fully annealed: trips are history, not state.
+	if got := b.Trips(); got != trips {
+		t.Fatalf("anneal changed the trip count: %d -> %d", trips, got)
 	}
 }

@@ -16,6 +16,70 @@ import (
 	"pcf/internal/core"
 )
 
+// Envelope is the epoch-stamped wrapper around a serialized plan. It
+// is both the on-disk checkpoint format and the fleet wire format: the
+// planner publishes envelopes over /v1/fleet/plan, replicas decode
+// them with DecodePlan and re-validate locally before installing. A
+// published or sent envelope is immutable (pcflint's mutafterpub
+// analyzer enforces this outside the defining package) — build a new
+// one instead of editing in place.
+type Envelope struct {
+	Epoch       uint64          `json:"epoch"`
+	Fingerprint string          `json:"fingerprint"`
+	SavedAt     time.Time       `json:"saved_at"`
+	Scheme      string          `json:"scheme"`
+	Plan        json.RawMessage `json:"plan"`
+}
+
+// NewEnvelope wraps a plan for checkpointing or fleet distribution.
+func NewEnvelope(epoch uint64, fingerprint string, plan *core.Plan) (*Envelope, error) {
+	var planBuf bytes.Buffer
+	if err := plan.WriteJSON(&planBuf); err != nil {
+		return nil, fmt.Errorf("serve: serializing plan for envelope: %w", err)
+	}
+	return &Envelope{
+		Epoch:       epoch,
+		Fingerprint: fingerprint,
+		SavedAt:     time.Now().UTC(),
+		Scheme:      plan.Scheme,
+		Plan:        json.RawMessage(planBuf.Bytes()),
+	}, nil
+}
+
+// Encode renders the envelope as indented JSON.
+func (e *Envelope) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding envelope: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeEnvelope parses an envelope from its JSON encoding. A torn or
+// truncated byte stream fails here, before any plan state is touched.
+func DecodeEnvelope(data []byte) (*Envelope, error) {
+	var e Envelope
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("serve: decoding envelope: %w", err)
+	}
+	if len(e.Plan) == 0 {
+		return nil, errors.New("serve: envelope carries no plan")
+	}
+	return &e, nil
+}
+
+// DecodePlan deserializes the enclosed plan against the instance,
+// after checking the envelope was built for that instance. The
+// returned plan is structurally sound but NOT validated — callers that
+// serve it must run it through the registry's validating publish path.
+func (e *Envelope) DecodePlan(in *core.Instance, fingerprint string) (*core.Plan, error) {
+	if e.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("serve: instance fingerprint mismatch: envelope %s, instance %s",
+			e.Fingerprint, fingerprint)
+	}
+	return core.ReadPlanJSON(bytes.NewReader(e.Plan), in)
+}
+
 // Store persists validated plans as versioned JSON snapshots so a
 // restarted daemon recovers its last good epoch instead of re-solving.
 // The crash-safety discipline is the classic one: write to a temp file
@@ -28,15 +92,10 @@ type Store struct {
 	// a snapshot from a different topology or demand matrix is treated
 	// as corrupt rather than deserialized into nonsense.
 	fingerprint string
-}
-
-// snapshot is the on-disk envelope around a serialized plan.
-type snapshot struct {
-	Epoch       uint64          `json:"epoch"`
-	Fingerprint string          `json:"fingerprint"`
-	SavedAt     time.Time       `json:"saved_at"`
-	Scheme      string          `json:"scheme"`
-	Plan        json.RawMessage `json:"plan"`
+	// retain, when positive, bounds accumulation: after each Save only
+	// the newest retain snapshots and the newest retain quarantined
+	// files are kept.
+	retain int
 }
 
 // NewStore opens (creating if needed) the checkpoint directory for the
@@ -46,6 +105,27 @@ func NewStore(dir string, in *core.Instance) (*Store, error) {
 		return nil, fmt.Errorf("serve: creating state dir: %w", err)
 	}
 	return &Store{dir: dir, fingerprint: Fingerprint(in)}, nil
+}
+
+// SetRetention bounds how many snapshots and quarantined files Save
+// leaves behind (keep <= 0 means unlimited).
+func (s *Store) SetRetention(keep int) { s.retain = keep }
+
+// Fingerprint returns the instance fingerprint snapshots are tied to.
+func (s *Store) Fingerprint() string { return s.fingerprint }
+
+// Writable probes whether the checkpoint directory still accepts
+// writes — the readiness report surfaces the result so load balancers
+// can evict a replica whose disk went read-only before its next Save
+// silently degrades durability.
+func (s *Store) Writable() error {
+	f, err := os.CreateTemp(s.dir, ".probe-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	f.Close()
+	return os.Remove(name)
 }
 
 // Fingerprint is a cheap structural hash of an instance: enough to
@@ -77,22 +157,17 @@ func (s *Store) snapshotPath(epoch uint64) string {
 // snapshot is fsync'd before the atomic rename, and the directory is
 // fsync'd after, so a crash at any point leaves either the previous
 // set of snapshots or the previous set plus this complete one — never
-// a torn file under the final name.
+// a torn file under the final name. When retention is configured, old
+// snapshots and quarantined files beyond the bound are deleted after
+// the new snapshot is durable.
 func (s *Store) Save(epoch uint64, plan *core.Plan) error {
-	var planBuf bytes.Buffer
-	if err := plan.WriteJSON(&planBuf); err != nil {
-		return fmt.Errorf("serve: serializing plan for checkpoint: %w", err)
-	}
-	env := snapshot{
-		Epoch:       epoch,
-		Fingerprint: s.fingerprint,
-		SavedAt:     time.Now().UTC(),
-		Scheme:      plan.Scheme,
-		Plan:        json.RawMessage(planBuf.Bytes()),
-	}
-	data, err := json.MarshalIndent(&env, "", "  ")
+	env, err := NewEnvelope(epoch, s.fingerprint, plan)
 	if err != nil {
-		return fmt.Errorf("serve: encoding checkpoint: %w", err)
+		return err
+	}
+	data, err := env.Encode()
+	if err != nil {
+		return err
 	}
 
 	tmp, err := os.CreateTemp(s.dir, "plan-*.tmp")
@@ -119,6 +194,51 @@ func (s *Store) Save(epoch uint64, plan *core.Plan) error {
 	}
 	if err := syncDir(s.dir); err != nil {
 		return fmt.Errorf("serve: syncing state dir: %w", err)
+	}
+	if s.retain > 0 {
+		if err := s.Retain(s.retain); err != nil {
+			return fmt.Errorf("serve: applying checkpoint retention: %w", err)
+		}
+	}
+	return nil
+}
+
+// Retain deletes all but the newest keep snapshots and the newest keep
+// quarantined (*.corrupt) files, then fsyncs the directory so the
+// deletions are durable. The zero-padded epoch in the file name makes
+// "newest" lexicographic.
+func (s *Store) Retain(keep int) error {
+	if keep <= 0 {
+		return nil
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("reading state dir: %w", err)
+	}
+	var snaps, corrupt []string
+	for _, e := range entries {
+		n := e.Name()
+		switch {
+		case strings.HasPrefix(n, "plan-") && strings.HasSuffix(n, ".json"):
+			snaps = append(snaps, n)
+		case strings.HasSuffix(n, ".corrupt"):
+			corrupt = append(corrupt, n)
+		}
+	}
+	deleted := 0
+	for _, group := range [][]string{snaps, corrupt} {
+		sort.Strings(group)
+		for _, name := range group[:max(0, len(group)-keep)] {
+			if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				return fmt.Errorf("deleting %s: %w", name, err)
+			}
+			deleted++
+		}
+	}
+	if deleted > 0 {
+		if err := syncDir(s.dir); err != nil {
+			return fmt.Errorf("syncing state dir after retention: %w", err)
+		}
 	}
 	return nil
 }
@@ -182,15 +302,11 @@ func (s *Store) loadOne(path string, in *core.Instance) (uint64, *core.Plan, err
 	if err != nil {
 		return 0, nil, err
 	}
-	var env snapshot
-	if err := json.Unmarshal(data, &env); err != nil {
-		return 0, nil, fmt.Errorf("decoding envelope: %w", err)
+	env, err := DecodeEnvelope(data)
+	if err != nil {
+		return 0, nil, err
 	}
-	if env.Fingerprint != s.fingerprint {
-		return 0, nil, fmt.Errorf("instance fingerprint mismatch: snapshot %s, instance %s",
-			env.Fingerprint, s.fingerprint)
-	}
-	plan, err := core.ReadPlanJSON(bytes.NewReader(env.Plan), in)
+	plan, err := env.DecodePlan(in, s.fingerprint)
 	if err != nil {
 		return 0, nil, err
 	}

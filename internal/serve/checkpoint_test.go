@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -128,5 +129,84 @@ func TestStoreEmpty(t *testing.T) {
 	}
 	if _, _, err := st.LoadLatest(in, t.Logf); !errors.Is(err, ErrNoSnapshot) {
 		t.Fatalf("LoadLatest on empty dir = %v, want ErrNoSnapshot", err)
+	}
+}
+
+// TestStoreRetention checks Save-triggered retention: only the newest
+// K snapshots and the newest K quarantined files survive, the newest
+// epoch stays loadable, and the bound holds as epochs keep arriving.
+func TestStoreRetention(t *testing.T) {
+	in, plan := testPlan(t)
+	dir := t.TempDir()
+	st, err := NewStore(dir, in)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	st.SetRetention(3)
+
+	// Seed some quarantined wreckage older than any real snapshot.
+	for i := 0; i < 5; i++ {
+		name := filepath.Join(dir, fmt.Sprintf("plan-%012d.json.corrupt", i))
+		if err := os.WriteFile(name, []byte("{torn"), 0o644); err != nil {
+			t.Fatalf("seeding corrupt file: %v", err)
+		}
+	}
+	for epoch := uint64(10); epoch < 22; epoch++ {
+		if err := st.Save(epoch, plan); err != nil {
+			t.Fatalf("Save(%d): %v", epoch, err)
+		}
+	}
+
+	snaps, _ := filepath.Glob(filepath.Join(dir, "plan-*.json"))
+	if len(snaps) != 3 {
+		t.Fatalf("snapshots after retention = %d (%v), want 3", len(snaps), snaps)
+	}
+	corrupt, _ := filepath.Glob(filepath.Join(dir, "*.corrupt"))
+	if len(corrupt) != 3 {
+		t.Fatalf("quarantined after retention = %d (%v), want 3", len(corrupt), corrupt)
+	}
+	// The survivors are the NEWEST of each class.
+	for _, epoch := range []uint64{19, 20, 21} {
+		if _, err := os.Stat(st.snapshotPath(epoch)); err != nil {
+			t.Fatalf("newest snapshot %d missing: %v", epoch, err)
+		}
+	}
+	epoch, _, err := st.LoadLatest(in, t.Logf)
+	if err != nil || epoch != 21 {
+		t.Fatalf("LoadLatest after retention = (%d, %v), want (21, nil)", epoch, err)
+	}
+
+	// Retention off (<=0) keeps everything.
+	st.SetRetention(0)
+	if err := st.Save(22, plan); err != nil {
+		t.Fatalf("Save(22): %v", err)
+	}
+	snaps, _ = filepath.Glob(filepath.Join(dir, "plan-*.json"))
+	if len(snaps) != 4 {
+		t.Fatalf("snapshots with retention off = %d, want 4", len(snaps))
+	}
+}
+
+// TestStoreWritable checks the readiness probe distinguishes a healthy
+// state dir from one the daemon can no longer write.
+func TestStoreWritable(t *testing.T) {
+	in, _ := testPlan(t)
+	dir := t.TempDir()
+	st, err := NewStore(dir, in)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	if err := st.Writable(); err != nil {
+		t.Fatalf("Writable on fresh dir: %v", err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatalf("chmod: %v", err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if os.Getuid() == 0 {
+		t.Skip("running as root: read-only dir permissions are not enforced")
+	}
+	if err := st.Writable(); err == nil {
+		t.Fatal("Writable on read-only dir: want error")
 	}
 }

@@ -24,6 +24,10 @@ func (s *Server) initVars() {
 	m.Set("admission_queued_solve", expvar.Func(func() any { return s.adm.Queued(ClassSolve) }))
 	m.Set("admission_queued_realize", expvar.Func(func() any { return s.adm.Queued(ClassRealize) }))
 	m.Set("epoch", expvar.Func(func() any { return s.reg.Epoch() }))
+	// The full readiness report: the same JSON /healthz serves, so an
+	// operator scraping /debug/vars sees lease freshness, breaker
+	// levels and checkpoint writability without a second probe.
+	m.Set("health", expvar.Func(func() any { return s.Health() }))
 	m.Set("breakers", expvar.Func(func() any {
 		s.breakerMu.Lock()
 		defer s.breakerMu.Unlock()

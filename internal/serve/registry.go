@@ -40,11 +40,18 @@ type Published struct {
 // validate → checkpoint → swap order, so the pointer can only ever
 // point at a plan that passed the full congestion-free sweep.
 type Registry struct {
-	mu    sync.Mutex // serializes Publish and Recover
+	mu    sync.Mutex // serializes Publish, PublishExternal and Recover
 	cur   atomic.Pointer[Published]
 	store *Store // nil disables persistence
 	epoch uint64 // last assigned epoch; guarded by mu
 	logf  func(string, ...any)
+
+	// OnPublish, when set before serving begins, runs after every
+	// successful swap (local publish, external publish, recovery) with
+	// the new epoch. The fleet planner uses it to push fresh envelopes
+	// to replicas. It is called synchronously under the publication
+	// lock — keep it fast and never call back into the registry.
+	OnPublish func(*Published)
 }
 
 // NewRegistry builds a registry. store may be nil (no persistence).
@@ -54,6 +61,9 @@ func NewRegistry(store *Store, logf func(string, ...any)) *Registry {
 	}
 	return &Registry{store: store, logf: logf}
 }
+
+// Store exposes the checkpoint store (nil when persistence is off).
+func (r *Registry) Store() *Store { return r.store }
 
 // Current returns the published epoch, or ErrNoPlan before the first
 // publication.
@@ -81,7 +91,28 @@ func (r *Registry) Epoch() uint64 {
 func (r *Registry) Publish(ctx context.Context, plan *core.Plan) (*Published, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.publishLocked(ctx, r.epoch+1, plan)
+}
 
+// PublishExternal installs a plan under an epoch assigned elsewhere —
+// the fleet planner stamps envelopes, replicas install them here. The
+// plan is re-validated locally in full (validation is never trusted
+// across the wire), and the epoch must strictly advance the
+// registry's: replays and regressions are refused with
+// ErrEpochRegression before any validation work is spent.
+func (r *Registry) PublishExternal(ctx context.Context, epoch uint64, plan *core.Plan) (*Published, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if epoch <= r.epoch {
+		return nil, fmt.Errorf("%w: offered epoch %d, registry already at %d",
+			ErrEpochRegression, epoch, r.epoch)
+	}
+	return r.publishLocked(ctx, epoch, plan)
+}
+
+// publishLocked is the shared validate → checkpoint → swap sequence.
+// Caller holds mu and has fixed the target epoch.
+func (r *Registry) publishLocked(ctx context.Context, epoch uint64, plan *core.Plan) (*Published, error) {
 	stats, err := routing.ValidateStats(ctx, plan, routing.ValidateOptions{})
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrValidation, err)
@@ -91,7 +122,6 @@ func (r *Registry) Publish(ctx context.Context, plan *core.Plan) (*Published, er
 		return nil, fmt.Errorf("serve: preparing sweep for new plan: %w", err)
 	}
 
-	epoch := r.epoch + 1
 	if r.store != nil {
 		if err := r.store.Save(epoch, plan); err != nil {
 			r.logf("serve: checkpoint of epoch %d failed (serving anyway): %v", epoch, err)
@@ -111,6 +141,9 @@ func (r *Registry) Publish(ctx context.Context, plan *core.Plan) (*Published, er
 	r.epoch = epoch
 	r.cur.Store(pub)
 	r.logf("serve: published epoch %d (scheme %s, value %g)", epoch, pub.Scheme, pub.Value)
+	if r.OnPublish != nil {
+		r.OnPublish(pub)
+	}
 	return pub, nil
 }
 
@@ -166,6 +199,9 @@ func (r *Registry) Recover(ctx context.Context, in *core.Instance) (*Published, 
 		}
 		r.cur.Store(pub)
 		r.logf("serve: recovered epoch %d (scheme %s, value %g)", epoch, pub.Scheme, pub.Value)
+		if r.OnPublish != nil {
+			r.OnPublish(pub)
+		}
 		return pub, nil
 	}
 }

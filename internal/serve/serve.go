@@ -49,6 +49,11 @@ var (
 	// ErrBreakerOpen reports that a fixed scheme's circuit breaker is
 	// open after repeated solver breakdowns.
 	ErrBreakerOpen = errors.New("serve: circuit breaker open for scheme")
+	// ErrEpochRegression reports that an externally stamped epoch
+	// (fleet plan distribution) does not advance the registry's: served
+	// epochs are monotone per node, so replays and stale planners are
+	// refused.
+	ErrEpochRegression = errors.New("serve: epoch regression refused")
 )
 
 // Config parameterizes a Server. The zero value of every field has a
@@ -61,6 +66,11 @@ type Config struct {
 	// StateDir is the checkpoint directory. Empty disables
 	// persistence: the daemon still serves, but restarts re-solve.
 	StateDir string
+	// RetainCheckpoints bounds snapshot accumulation in StateDir: after
+	// each checkpoint only the newest RetainCheckpoints snapshots and
+	// the newest RetainCheckpoints quarantined (*.corrupt) files are
+	// kept. Zero means the default (8); negative disables retention.
+	RetainCheckpoints int
 
 	// MaxConcurrentSolves and MaxConcurrentRealizes bound the work
 	// running per class; QueueDepth bounds how many admitted requests
@@ -103,6 +113,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.MaxConcurrentSolves <= 0 {
 		c.MaxConcurrentSolves = 1
+	}
+	if c.RetainCheckpoints == 0 {
+		c.RetainCheckpoints = 8
 	}
 	if c.MaxConcurrentRealizes <= 0 {
 		c.MaxConcurrentRealizes = runtime.NumCPU()

@@ -7,6 +7,7 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -70,6 +71,9 @@ type Server struct {
 	requests      expvar.Map
 	deniedReqs    expvar.Int
 	solveFailures expvar.Int
+
+	checksMu sync.RWMutex
+	checks   map[string]func() HealthCheck
 }
 
 // NewServer builds a server from the config. The instance must already
@@ -89,6 +93,9 @@ func NewServer(cfg Config) (*Server, error) {
 		store, err = NewStore(cfg.StateDir, cfg.Instance)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.RetainCheckpoints > 0 {
+			store.SetRetention(cfg.RetainCheckpoints)
 		}
 	}
 	s := &Server{
@@ -136,6 +143,11 @@ func (s *Server) Registry() *Registry { return s.reg }
 
 // Admission exposes the admission gate for metrics and tests.
 func (s *Server) Admission() *Admission { return s.adm }
+
+// Instance exposes the prepared problem instance. The fleet replica
+// needs it to decode wire envelopes against the same topology the
+// planner solved for.
+func (s *Server) Instance() *core.Instance { return s.inst }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -268,17 +280,119 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.count("healthz")
+// HealthCheck is one named component's contribution to the readiness
+// report: a verdict plus a human/JSON-readable detail blob.
+type HealthCheck struct {
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Health is the /healthz readiness report. It is a decision surface,
+// not just liveness: the fleet front end and external load balancers
+// read Status, Epoch and the per-component checks to decide whether a
+// node should keep receiving traffic, and the handler answers 503
+// whenever Status is "degraded".
+type Health struct {
+	Status   string `json:"status"` // "ok" or "degraded"
+	Draining bool   `json:"draining"`
+	Epoch    uint64 `json:"epoch"`
+	HasPlan  bool   `json:"has_plan"`
+	// Breakers maps scheme → current ladder-skip level (only schemes
+	// that have been requested at least once appear).
+	Breakers map[string]int `json:"breakers,omitempty"`
+	// CheckpointWritable reports whether the state dir still accepts
+	// writes; absent when persistence is off.
+	CheckpointWritable *bool `json:"checkpoint_dir_writable,omitempty"`
+	// Checks carries registered component probes (e.g. the fleet
+	// replica's lease freshness).
+	Checks map[string]HealthCheck `json:"checks,omitempty"`
+	// DegradedReasons explains a "degraded" status, one entry per
+	// failing condition.
+	DegradedReasons []string `json:"degraded_reasons,omitempty"`
+}
+
+// AddHealthCheck registers a named readiness probe evaluated on every
+// /healthz request. A probe reporting !OK degrades the node (503).
+// Register checks during setup, before the server starts handling
+// traffic.
+func (s *Server) AddHealthCheck(name string, fn func() HealthCheck) {
+	s.checksMu.Lock()
+	defer s.checksMu.Unlock()
+	if s.checks == nil {
+		s.checks = map[string]func() HealthCheck{}
+	}
+	s.checks[name] = fn
+}
+
+// Health evaluates the readiness report. Degradation conditions:
+// draining, no published plan, an unwritable checkpoint dir, or any
+// registered check reporting !OK. Breaker levels are reported but do
+// not degrade — a node with a stepped-down solve ladder still serves
+// realize traffic at full fidelity.
+func (s *Server) Health() Health {
 	s.drainMu.RLock()
 	draining := s.draining
 	s.drainMu.RUnlock()
+
+	h := Health{
+		Draining: draining,
+		Epoch:    s.reg.Epoch(),
+		Breakers: map[string]int{},
+	}
+	_, curErr := s.reg.Current()
+	h.HasPlan = curErr == nil
+
+	s.breakerMu.Lock()
+	for scheme, b := range s.breakers {
+		h.Breakers[scheme] = b.Level()
+	}
+	s.breakerMu.Unlock()
+
+	if store := s.reg.Store(); store != nil {
+		writable := store.Writable() == nil
+		h.CheckpointWritable = &writable
+		if !writable {
+			h.DegradedReasons = append(h.DegradedReasons, "checkpoint dir not writable")
+		}
+	}
+
+	s.checksMu.RLock()
+	for name, fn := range s.checks {
+		c := fn()
+		if h.Checks == nil {
+			h.Checks = map[string]HealthCheck{}
+		}
+		h.Checks[name] = c
+		if !c.OK {
+			h.DegradedReasons = append(h.DegradedReasons, "check "+name+" failed")
+		}
+	}
+	s.checksMu.RUnlock()
+
+	if draining {
+		h.DegradedReasons = append(h.DegradedReasons, "draining")
+	}
+	if !h.HasPlan {
+		h.DegradedReasons = append(h.DegradedReasons, "no plan published")
+	}
+	sort.Strings(h.DegradedReasons)
+	if len(h.DegradedReasons) > 0 {
+		h.Status = "degraded"
+	} else {
+		h.Status = "ok"
+	}
+	return h
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.count("healthz")
+	h := s.Health()
 	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, map[string]any{
-		"status":   "ok",
-		"draining": draining,
-		"epoch":    s.reg.Epoch(),
-	})
+	w.Header().Set("X-PCF-Epoch", strconv.FormatUint(h.Epoch, 10))
+	if h.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, h)
 }
 
 // planInfo is the metadata block shared by plan and solve responses.

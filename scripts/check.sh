@@ -36,14 +36,23 @@ go run ./cmd/pcflint ./...
 echo "== go build"
 go build ./...
 
-echo "== go build cmd/pcfd"
-# Link the daemon binary explicitly: `go build ./...` type-checks main
-# packages but a broken link (e.g. a bad linker flag or a main-only
-# symbol clash) only surfaces when the binary is actually produced.
+echo "== go build cmd/pcfd + cmd/pcffe"
+# Link the daemon and front-end binaries explicitly: `go build ./...`
+# type-checks main packages but a broken link (e.g. a bad linker flag
+# or a main-only symbol clash) only surfaces when the binary is
+# actually produced.
 go build -o /tmp/pcfd.check ./cmd/pcfd
-rm -f /tmp/pcfd.check
+go build -o /tmp/pcffe.check ./cmd/pcffe
+rm -f /tmp/pcfd.check /tmp/pcffe.check
 
 echo "== go test -race"
 go test -race ./...
+
+echo "== fleet chaos smoke (-race -short)"
+# The fleet soak also runs inside `go test -race ./...` above, but in
+# full (slow) mode only when -short is not set there; this explicit
+# short pass mirrors the CI chaos-smoke job so a local gate run always
+# exercises the kill/partition/tear schedule the same way CI does.
+go test -race -short -count=1 -run 'TestFleetChaosSoak' ./internal/fleet/
 
 echo "OK"
