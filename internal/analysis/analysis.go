@@ -6,7 +6,12 @@
 // on: tolerance-aware float comparisons, context checks inside
 // unbounded solve loops, never-discarded solver errors, typed errors
 // instead of panics in library code, and immutability of published
-// plans. DESIGN.md §10 documents each analyzer and its invariant.
+// plans — plus, on the CFG/dataflow layer in cfg.go, the serving
+// fleet's concurrency discipline: no blocking calls under a mutex,
+// no lifecycle-less goroutines, deadline-carrying HTTP, and no mixed
+// atomic/plain field access. DESIGN.md §10 documents the original
+// analyzers, §15 the CFG construction rules and the concurrency
+// analyzers.
 //
 // Diagnostics can be suppressed per line with a directive comment
 //
@@ -24,6 +29,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one analyzer finding at a source position.
@@ -94,6 +100,10 @@ func All() []*Analyzer {
 		CheckedErr,
 		NoPanic,
 		MutAfterPub,
+		LockHeld,
+		GoroLeak,
+		CtxHTTP,
+		AtomicMix,
 	}
 }
 
@@ -123,6 +133,10 @@ func ByName(names string) ([]*Analyzer, error) {
 type ignoreDirective struct {
 	analyzer string // analyzer name, without the pcflint/ prefix
 	line     int
+	// groupEnd is the last line of the comment group the directive sits
+	// in, so a directive followed by further comment lines (including a
+	// bare //) still suppresses the code line after the group.
+	groupEnd int
 	bad      bool // malformed (missing reason or analyzer)
 	pos      token.Pos
 }
@@ -139,22 +153,59 @@ func collectIgnores(fset *token.FileSet, f *ast.File) []ignoreDirective {
 				continue
 			}
 			line := fset.Position(c.Pos()).Line
+			groupEnd := fset.Position(cg.End()).Line
 			m := ignoreRe.FindStringSubmatch(c.Text)
 			if m == nil || strings.TrimSpace(m[2]) == "" {
-				out = append(out, ignoreDirective{line: line, bad: true, pos: c.Pos()})
+				out = append(out, ignoreDirective{line: line, groupEnd: groupEnd, bad: true, pos: c.Pos()})
 				continue
 			}
-			out = append(out, ignoreDirective{analyzer: m[1], line: line, pos: c.Pos()})
+			out = append(out, ignoreDirective{analyzer: m[1], line: line, groupEnd: groupEnd, pos: c.Pos()})
 		}
 	}
 	return out
+}
+
+// AnalyzerTiming is the wall time one analyzer spent across every
+// package of a run.
+type AnalyzerTiming struct {
+	Analyzer string
+	Duration time.Duration
+}
+
+// FormatTimings renders per-analyzer wall times as an aligned column,
+// one analyzer per line in the (already sorted) input order.
+func FormatTimings(timings []AnalyzerTiming) string {
+	var b strings.Builder
+	for _, t := range timings {
+		fmt.Fprintf(&b, "%-12s %10.3fms\n", t.Analyzer, float64(t.Duration.Microseconds())/1000)
+	}
+	return b.String()
 }
 
 // Run executes the analyzers over the loaded packages, applies the
 // suppression directives, and returns the surviving diagnostics sorted
 // by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunTimed(pkgs, analyzers)
+	return diags
+}
+
+// RunTimed is Run plus the per-analyzer wall time aggregated across
+// packages, sorted by analyzer name with one entry per analyzer in the
+// run set. The diagnostics are identical to Run's.
+func RunTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerTiming) {
 	var diags []Diagnostic
+	elapsed := map[string]time.Duration{}
+	for _, a := range analyzers {
+		elapsed[a.Name] = 0
+	}
+	// known analyzer names, for validating suppression directives:
+	// always the full suite, so `-analyzers floatcmp` does not start
+	// flagging valid suppressions for the analyzers it skipped.
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
 	// suppressed[file][line][analyzer]
 	suppressed := map[string]map[int]map[string]bool{}
 	note := func(file string, line int, analyzer string) {
@@ -181,7 +232,22 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 					})
 					continue
 				}
+				if !known[d.analyzer] {
+					diags = append(diags, Diagnostic{
+						Analyzer: "directive",
+						File:     file,
+						Line:     d.line,
+						Col:      pkg.Fset.Position(d.pos).Column,
+						Message:  fmt.Sprintf("suppression names unknown analyzer %q; see pcflint -list", d.analyzer),
+					})
+					continue
+				}
 				note(file, d.line, d.analyzer)
+				if d.groupEnd != d.line {
+					// The directive's comment group continues past it;
+					// also suppress the code line the group ends above.
+					note(file, d.groupEnd, d.analyzer)
+				}
 			}
 		}
 		for _, a := range analyzers {
@@ -197,7 +263,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Info:     pkg.Info,
 				report:   func(d Diagnostic) { diags = append(diags, d) },
 			}
+			start := time.Now()
 			a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
 		}
 	}
 
@@ -221,7 +289,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return kept[i].Analyzer < kept[j].Analyzer
 	})
-	return kept
+
+	timings := make([]AnalyzerTiming, 0, len(elapsed))
+	for name, dur := range elapsed {
+		timings = append(timings, AnalyzerTiming{Analyzer: name, Duration: dur})
+	}
+	sort.Slice(timings, func(i, j int) bool { return timings[i].Analyzer < timings[j].Analyzer })
+	return kept, timings
 }
 
 // pathHasSuffix reports whether the import path ends with the given

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicMix guards the memory-ordering contract behind the fleet's
+// monotonicity proofs. Epoch watermarks, lease terms and breaker
+// counters are only monotone because every access goes through
+// sync/atomic; one plain `s.epoch++` next to atomic.AddInt64(&s.epoch,
+// 1) is a data race the race detector catches only when the schedule
+// cooperates, and it silently voids the §14 epoch-monotonicity
+// argument. The analyzer collects every struct field that appears as
+// the &-argument of a sync/atomic call anywhere in the package, then
+// reports every other read or write of those fields that does not go
+// through sync/atomic. The typed atomics (atomic.Int64, atomic.Pointer)
+// make this unmixable by construction — new counters should use them;
+// this analyzer exists for the legacy &field form.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a struct field accessed via sync/atomic must never be read or written plainly",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	// First pass: find fields used atomically, and remember the exact
+	// selector expressions inside atomic calls so the second pass does
+	// not report the atomic sites themselves.
+	atomicFields := map[*types.Var]bool{}
+	atomicUses := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fld := fieldVar(pass, sel); fld != nil {
+					atomicFields[fld] = true
+					atomicUses[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicUses[sel] {
+				return true
+			}
+			fld := fieldVar(pass, sel)
+			if fld != nil && atomicFields[fld] {
+				pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic elsewhere in this package; this plain access races with it — use the atomic API (or an atomic.%s-style typed field)", fld.Name(), atomicTypeHint(fld.Type()))
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicCall reports whether call resolves into package sync/atomic.
+func isAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := funcFor(pass.Info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldVar resolves a selector to the struct field it denotes, or nil
+// for methods, package selectors, and non-field objects.
+func fieldVar(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// atomicTypeHint suggests the typed-atomic replacement for a field
+// type.
+func atomicTypeHint(t types.Type) string {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64:
+			return "Uint64"
+		case types.Uintptr:
+			return "Uintptr"
+		}
+	}
+	return "Int64"
+}

@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody wraps a statement list in a function and parses it.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "body.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// calleeFacts is a transfer function that accumulates the names of
+// called identifiers, for observing which paths reach a block.
+func calleeFacts(n ast.Node, in FactSet[string]) FactSet[string] {
+	out := in
+	inspectShallow(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				out = out.With(id.Name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// blockCalling finds the block whose nodes contain a call to name.
+func blockCalling(t *testing.T, g *CFG, name string) *Block {
+	t.Helper()
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			found := false
+			inspectShallow(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return true
+			})
+			if found {
+				return blk
+			}
+		}
+	}
+	t.Fatalf("no block calls %s", name)
+	return nil
+}
+
+func factsAt(t *testing.T, body string, at string) FactSet[string] {
+	t.Helper()
+	g := BuildCFG(parseBody(t, body))
+	in := ForwardMay(g, calleeFacts)
+	return in[blockCalling(t, g, at)]
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := BuildCFG(parseBody(t, "a()\nb()"))
+	if len(g.Entry.Nodes) != 2 {
+		t.Fatalf("entry has %d nodes, want 2", len(g.Entry.Nodes))
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatalf("entry succs = %v, want just exit", g.Entry.Succs)
+	}
+}
+
+func TestCFGIfJoin(t *testing.T) {
+	// Both arms may reach the join: facts union there.
+	in := factsAt(t, "if c() {\na()\n} else {\nb()\n}\nd()", "d")
+	for _, want := range []string{"a", "b", "c"} {
+		if !in.Has(want) {
+			t.Errorf("join lacks fact %q: %v", want, in)
+		}
+	}
+}
+
+func TestCFGIfWithoutElse(t *testing.T) {
+	// The head reaches the join directly when there is no else.
+	in := factsAt(t, "if c() {\na()\n}\nd()", "d")
+	if !in.Has("a") || !in.Has("c") {
+		t.Errorf("join facts = %v, want a and c", in)
+	}
+}
+
+func TestCFGForBackEdge(t *testing.T) {
+	// The loop body's facts flow around the back edge into the body
+	// itself and forward past the loop.
+	body := "for i := 0; cond(); i++ {\na()\n}\nd()"
+	g := BuildCFG(parseBody(t, body))
+	in := ForwardMay(g, calleeFacts)
+	if facts := in[blockCalling(t, g, "a")]; !facts.Has("a") {
+		t.Errorf("body entry lacks its own fact via back edge: %v", facts)
+	}
+	if facts := in[blockCalling(t, g, "d")]; !facts.Has("a") || !facts.Has("cond") {
+		t.Errorf("after-loop facts = %v, want a and cond", facts)
+	}
+}
+
+func TestCFGRangeMayBeEmpty(t *testing.T) {
+	// d() is reachable without executing the body, but may-analysis
+	// still unions the body's facts in.
+	in := factsAt(t, "for range xs {\na()\n}\nd()", "d")
+	if !in.Has("a") {
+		t.Errorf("after-range facts = %v, want a (may)", in)
+	}
+}
+
+func TestCFGBreak(t *testing.T) {
+	in := factsAt(t, "for {\nif c() {\nbreak\n}\na()\n}\nd()", "d")
+	if !in.Has("c") {
+		t.Errorf("break target lacks loop facts: %v", in)
+	}
+}
+
+func TestCFGReturnLeavesPath(t *testing.T) {
+	// After `if c() { a(); return }`, a() is not on any path to d():
+	// the return edge goes to exit, not the join.
+	in := factsAt(t, "if c() {\na()\nreturn\n}\nd()", "d")
+	if in.Has("a") {
+		t.Errorf("fact a leaked across a return: %v", in)
+	}
+	if !in.Has("c") {
+		t.Errorf("join lacks head fact c: %v", in)
+	}
+}
+
+func TestCFGSelectDefaultNonBlocking(t *testing.T) {
+	g := BuildCFG(parseBody(t, "select {\ncase ch <- v:\na()\ndefault:\nb()\n}"))
+	if len(g.NonBlockingComm) != 1 {
+		t.Fatalf("NonBlockingComm has %d entries, want 1", len(g.NonBlockingComm))
+	}
+	g = BuildCFG(parseBody(t, "select {\ncase ch <- v:\na()\ncase <-done:\nb()\n}"))
+	if len(g.NonBlockingComm) != 0 {
+		t.Fatalf("select without default marked non-blocking: %v", g.NonBlockingComm)
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	in := factsAt(t, "switch x() {\ncase 1:\na()\nfallthrough\ncase 2:\nd()\n}", "d")
+	if !in.Has("a") {
+		t.Errorf("fallthrough edge missing: %v", in)
+	}
+}
+
+func TestCFGDefers(t *testing.T) {
+	g := BuildCFG(parseBody(t, "defer a()\nif c() {\ndefer b()\n}"))
+	if len(g.Defers) != 2 {
+		t.Fatalf("collected %d defers, want 2", len(g.Defers))
+	}
+}
+
+func TestFuncLitsTopLevelOnly(t *testing.T) {
+	body := parseBody(t, "f := func() {\ng := func() {\na()\n}\ng()\n}\nf()")
+	lits := FuncLits(body)
+	if len(lits) != 1 {
+		t.Fatalf("FuncLits found %d literals, want 1 (outermost only)", len(lits))
+	}
+}
+
+func TestFactSetSharing(t *testing.T) {
+	s := FactSet[string]{}.With("x")
+	if got := s.With("x"); len(got) != 1 {
+		t.Errorf("With of present fact changed the set: %v", got)
+	}
+	if got := s.Without("y"); len(got) != 1 {
+		t.Errorf("Without of absent fact changed the set: %v", got)
+	}
+	if got := s.Without("x"); got.Has("x") || len(got) != 0 {
+		t.Errorf("Without failed: %v", got)
+	}
+	if !s.Has("x") {
+		t.Errorf("original set mutated: %v", s)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	cases := map[string]string{
+		"mu":         "mu",
+		"s.mu":       "s.mu",
+		"(*p).mu":    "*p.mu",
+		"s.locks[i]": "s.locks[i]",
+		"get().mu":   "get().mu",
+	}
+	for src, want := range cases {
+		e, err := parser.ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if got := exprString(e); got != want {
+			t.Errorf("exprString(%q) = %q, want %q", src, got, want)
+		}
+	}
+}

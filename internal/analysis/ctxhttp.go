@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxHTTP keeps HTTP clients on the deadline discipline PR 1 threaded
+// through the solver and PR 5–6 threaded through the fleet. An
+// http.Get/Post through the package-level default client has no
+// timeout and no context: a hung peer pins the caller forever, which
+// in the replica sync loop means a partitioned planner freezes the
+// whole loop instead of tripping the backoff path the chaos soak
+// exercises. Three findings:
+//
+//   - any call to the package-level http.Get, http.Post, http.Head or
+//     http.PostForm (default client, no deadline, no ctx);
+//   - http.NewRequest inside a function that has a context.Context in
+//     scope (own parameter or an enclosing function's) — the request
+//     should carry it via http.NewRequestWithContext;
+//   - an http.Client composite literal outside a _test.go file that
+//     sets neither Timeout nor Transport — a production client must
+//     bound its round trips one way or the other.
+//
+// Test files are exempt only from the client-literal rule: tests hit
+// their own in-process servers, but even there a default-client
+// http.Get with no timeout turns a wedged handler into a suite
+// timeout, so the call-site rules apply under -tests too.
+var CtxHTTP = &Analyzer{
+	Name: "ctxhttp",
+	Doc:  "no default-client http.Get/Post, no http.NewRequest where a ctx is in scope, no production http.Client without Timeout or Transport",
+	Run:  runCtxHTTP,
+}
+
+// defaultClientCalls are the net/http package-level helpers that go
+// through http.DefaultClient.
+var defaultClientCalls = map[string]bool{
+	"Get": true, "Post": true, "Head": true, "PostForm": true,
+}
+
+func runCtxHTTP(pass *Pass) {
+	for _, f := range pass.Files {
+		isTest := strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+		// ctxDepth counts enclosing functions with a context.Context
+		// parameter; inside any of them NewRequest should be
+		// NewRequestWithContext.
+		ctxDepth := 0
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				return ctxHTTPFunc(pass, n.Type, n.Body, &ctxDepth, walk)
+			case *ast.FuncLit:
+				return ctxHTTPFunc(pass, n.Type, n.Body, &ctxDepth, walk)
+			case *ast.CallExpr:
+				ctxHTTPCall(pass, n, ctxDepth > 0)
+			case *ast.CompositeLit:
+				if !isTest {
+					ctxHTTPClientLit(pass, n)
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+}
+
+// ctxHTTPFunc walks one function's body with the ctx-in-scope counter
+// adjusted for its parameter list, then prunes the default walk (the
+// body was already visited).
+func ctxHTTPFunc(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt, ctxDepth *int, walk func(ast.Node) bool) bool {
+	if body == nil {
+		return false
+	}
+	carries := false
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			if isContextType(pass.TypeOf(field.Type)) {
+				carries = true
+			}
+		}
+	}
+	if carries {
+		*ctxDepth++
+		defer func() { *ctxDepth-- }()
+	}
+	ast.Inspect(body, walk)
+	return false
+}
+
+// ctxHTTPCall flags default-client helpers and ctx-less NewRequest.
+func ctxHTTPCall(pass *Pass, call *ast.CallExpr, ctxInScope bool) {
+	fn := funcFor(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net/http" {
+		return
+	}
+	// Only the package-level helpers, not Client methods of the same
+	// name: a method has a receiver.
+	if fn.Type().(*types.Signature).Recv() == nil && defaultClientCalls[fn.Name()] {
+		pass.Reportf(call.Pos(), "http.%s uses the default client with no timeout and no context; use a client with Timeout (or NewRequestWithContext + Do)", fn.Name())
+		return
+	}
+	if fn.Name() == "NewRequest" && ctxInScope {
+		pass.Reportf(call.Pos(), "http.NewRequest in a function with a context.Context in scope; use http.NewRequestWithContext so the deadline propagates")
+	}
+}
+
+// ctxHTTPClientLit flags http.Client{...} literals that bound nothing.
+func ctxHTTPClientLit(pass *Pass, lit *ast.CompositeLit) {
+	t := pass.TypeOf(lit)
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "net/http" || obj.Name() != "Client" {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && (key.Name == "Timeout" || key.Name == "Transport") {
+			return
+		}
+	}
+	pass.Reportf(lit.Pos(), "http.Client literal with neither Timeout nor Transport; an unbounded client hangs on a wedged peer — set a Timeout or a deadline-aware Transport")
+}

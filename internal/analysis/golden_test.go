@@ -21,11 +21,18 @@ var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
 // carry a want comment.
 func runGolden(t *testing.T, a *Analyzer, dirs ...string) []Diagnostic {
 	t.Helper()
+	return runGoldenLoader(t, a, false, dirs...)
+}
+
+// runGoldenLoader is runGolden with control over whether _test.go
+// fixture files are loaded too.
+func runGoldenLoader(t *testing.T, a *Analyzer, includeTests bool, dirs ...string) []Diagnostic {
+	t.Helper()
 	root, err := filepath.Abs(filepath.Join("testdata", "src"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	l := &Loader{Dir: root}
+	l := &Loader{Dir: root, IncludeTests: includeTests}
 	pkgs, err := l.Load(dirs)
 	if err != nil {
 		t.Fatalf("load %v: %v", dirs, err)
@@ -100,6 +107,17 @@ func TestCtxLoopRoutingGolden(t *testing.T) {
 func TestCheckedErrGolden(t *testing.T)  { runGolden(t, CheckedErr, "checkederr") }
 func TestNoPanicGolden(t *testing.T)     { runGolden(t, NoPanic, "internal/quiet") }
 func TestMutAfterPubGolden(t *testing.T) { runGolden(t, MutAfterPub, "mutafterpub") }
+func TestLockHeldGolden(t *testing.T)    { runGolden(t, LockHeld, "lockheld") }
+func TestGoroLeakGolden(t *testing.T)    { runGolden(t, GoroLeak, "internal/fleet") }
+func TestCtxHTTPGolden(t *testing.T)     { runGolden(t, CtxHTTP, "ctxhttp") }
+func TestAtomicMixGolden(t *testing.T)   { runGolden(t, AtomicMix, "atomicmix") }
+
+// TestCtxHTTPTestFilesGolden reloads the ctxhttp fixture with its
+// _test.go file: the client-literal rule goes quiet there while the
+// default-client call rule keeps firing.
+func TestCtxHTTPTestFilesGolden(t *testing.T) {
+	runGoldenLoader(t, CtxHTTP, true, "ctxhttp")
+}
 
 // TestSuppression checks the directive machinery end to end: right-
 // analyzer directives on the same line or the line above suppress,
@@ -137,6 +155,31 @@ func TestAnalyzerScoping(t *testing.T) {
 	}
 	if !NoPanic.Match("pcf/internal/lp") || !NoPanic.Match("internal/lp") {
 		t.Error("nopanic should match internal packages in both path styles")
+	}
+	if !GoroLeak.Match("internal/serve") || !GoroLeak.Match("pcf/internal/fleet") {
+		t.Error("goroleak should match internal/serve and internal/fleet in both path styles")
+	}
+	if GoroLeak.Match("internal/routing") {
+		t.Error("goroleak should not match internal/routing")
+	}
+}
+
+// TestSuppressionEdgeCases pins the directive corner cases: a directive
+// whose comment group continues (blank // line or trailing prose) still
+// suppresses the code line below the group, and a directive naming an
+// unknown analyzer is reported as its own finding and suppresses
+// nothing.
+func TestSuppressionEdgeCases(t *testing.T) {
+	directives := runGolden(t, FloatCmp, "suppressedge")
+	if len(directives) != 1 {
+		t.Fatalf("got %d directive diagnostics, want 1: %v", len(directives), directives)
+	}
+	d := directives[0]
+	if !strings.Contains(d.Message, `unknown analyzer "nosuchanalyzer"`) {
+		t.Errorf("directive diagnostic message = %q, want unknown analyzer", d.Message)
+	}
+	if filepath.Base(d.File) != "suppressedge.go" {
+		t.Errorf("directive diagnostic in %s, want suppressedge.go", d.File)
 	}
 }
 

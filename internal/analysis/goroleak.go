@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroLeak keeps the serving fleet's goroutines accountable to a
+// lifecycle. pcfd's drain protocol (DESIGN.md §13) and the fleet's
+// lease loop (§14) both assume that every background goroutine either
+// joins a sync.WaitGroup, signals a done channel, or terminates when
+// its context does — a goroutine with none of those outlives Shutdown,
+// keeps checkpoints and sockets alive, and turns kill/restart chaos
+// cycles into slow leaks the soak tests only catch probabilistically.
+//
+// For every `go` statement in internal/serve and internal/fleet the
+// analyzer inspects the goroutine body (a function literal's body
+// directly, or the declaration of a same-package callee, following
+// same-package calls a few levels deep) for one of the accepted
+// lifecycle joins:
+//
+//   - a sync.WaitGroup Done (usually deferred),
+//   - a send on, or close of, a channel (a done-channel handoff),
+//   - a receive from ctx.Done() — bare or in a select — or a
+//     context.AfterFunc registration.
+//
+// Markers inside nested function literals do not count: a literal need
+// not run. A goroutine whose body is not visible (external callee,
+// indirect call) cannot be proven to terminate and is reported; if the
+// callee has its own lifecycle (http.Server.Serve ends on listener
+// close), suppress with the reason.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "every go statement in internal/serve and internal/fleet must join a lifecycle (WaitGroup, done channel, or ctx)",
+	Match: func(pkgPath string) bool {
+		return pathHasSuffix(pkgPath, "internal/serve") || pathHasSuffix(pkgPath, "internal/fleet")
+	},
+	Run: runGoroLeak,
+}
+
+// goroFollowDepth bounds how far the analyzer chases same-package
+// callees looking for a lifecycle marker.
+const goroFollowDepth = 3
+
+func runGoroLeak(pass *Pass) {
+	// Map each declared function to its body so `go pkgFunc(...)` and
+	// `go recv.Method(...)` can be followed within the package.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroHasLifecycle(pass, decls, gs.Call, goroFollowDepth, map[*ast.FuncDecl]bool{}) {
+				pass.Reportf(gs.Pos(), "goroutine has no visible lifecycle (no WaitGroup Done, done-channel send/close, or ctx join); it can outlive Shutdown — join it or suppress with the external lifecycle that bounds it")
+			}
+			return true
+		})
+	}
+}
+
+// goroHasLifecycle reports whether the body behind a go statement's
+// call contains a lifecycle marker, following same-package callees up
+// to depth levels.
+func goroHasLifecycle(pass *Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr, depth int, seen map[*ast.FuncDecl]bool) bool {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return bodyHasLifecycle(pass, decls, lit.Body, depth, seen)
+	}
+	fn := funcFor(pass.Info, call)
+	if fn == nil {
+		return false // indirect call: body invisible
+	}
+	fd := decls[fn]
+	if fd == nil || seen[fd] {
+		return false // external callee (or cycle): body invisible
+	}
+	seen[fd] = true
+	return bodyHasLifecycle(pass, decls, fd.Body, depth, seen)
+}
+
+// bodyHasLifecycle scans one function body (nested literals excluded)
+// for a lifecycle marker, recursing into same-package callees.
+func bodyHasLifecycle(pass *Pass, decls map[*types.Func]*ast.FuncDecl, body *ast.BlockStmt, depth int, seen map[*ast.FuncDecl]bool) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true // done-channel handoff
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && isCtxDoneCall(pass, n.X) {
+				found = true
+				return false
+			}
+		case *ast.CommClause:
+			// A select case receiving from ctx.Done().
+			if recv, ok := commRecvExpr(n.Comm); ok && isCtxDoneCall(pass, recv) {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			if lifecycleCall(pass, n) {
+				found = true
+				return false
+			}
+			if depth > 0 {
+				fn := funcFor(pass.Info, n)
+				if fd := decls[fn]; fd != nil && !seen[fd] {
+					seen[fd] = true
+					if bodyHasLifecycle(pass, decls, fd.Body, depth-1, seen) {
+						found = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// commRecvExpr extracts the received channel expression from a select
+// comm statement (`<-ch`, `v := <-ch`, `v = <-ch`), if it is one.
+func commRecvExpr(comm ast.Stmt) (ast.Expr, bool) {
+	var e ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		e = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			e = s.Rhs[0]
+		}
+	}
+	if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+		return u.X, true
+	}
+	return nil, false
+}
+
+// isCtxDoneCall reports whether e is ctx.Done() on a context.Context.
+func isCtxDoneCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	return isContextType(pass.TypeOf(sel.X))
+}
+
+// lifecycleCall reports whether call is a lifecycle marker: a
+// WaitGroup Done, a close(), or a context.AfterFunc registration.
+func lifecycleCall(pass *Pass, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	fn := funcFor(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sync":
+		if fn.Name() == "Done" {
+			return true
+		}
+	case "context":
+		if fn.Name() == "AfterFunc" {
+			return true
+		}
+	}
+	return false
+}

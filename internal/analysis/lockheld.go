@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"sort"
+)
+
+// LockHeld guards the serving fleet's latency discipline: a
+// sync.Mutex/RWMutex critical section must never contain a blocking
+// operation. The hot-swap registry, breaker bank, lease tables and
+// admission gate all sit on request paths where a lock held across
+// network I/O, a channel operation, a sleep, or a Solve*/Realize*/
+// Validate* call turns one slow peer into a fleet-wide convoy — and,
+// under the drain protocol, into a deadlock (Shutdown waits on
+// in-flight requests that wait on the lock).
+//
+// The analyzer runs the may-hold-lock dataflow on each function's CFG:
+// x.Lock()/x.RLock() adds the lock (keyed by its receiver expression)
+// to the fact set, x.Unlock()/x.RUnlock() removes it, and facts merge
+// by union at joins — a lock held on ANY path into a point counts as
+// held there. defer x.Unlock() is deliberately NOT a release at its
+// syntactic position: the lock stays held until function exit, so
+// everything after the defer is inside the critical section. Function
+// literals are analyzed as separate functions (their bodies run
+// elsewhere). Blocking operations are: channel sends and receives
+// (except select cases with a default), time.Sleep, sync.WaitGroup/
+// sync.Cond Wait, net and net/http round-trip calls (Do, Get, Post,
+// Head, PostForm, RoundTrip, Dial*, Listen, Accept), and any call
+// whose name starts with Solve, Realize or Validate — the solver
+// machinery whose latency the §9/§13 deadline contracts bound but
+// never to zero.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "no blocking call (network I/O, channel ops, time.Sleep, Solve*/Realize*/Validate*) while a sync.Mutex/RWMutex is held",
+	Run:  runLockHeld,
+}
+
+// lockBlockingCallRe matches callee names that mark solver work: their
+// latency is bounded by deadlines, not by the nanoseconds a critical
+// section is budgeted for.
+var lockBlockingCallRe = regexp.MustCompile(`^(Solve|Realize|Validate)`)
+
+// netBlockingNames are the net/net/http call names treated as network
+// I/O. Constructors like http.NewRequest are excluded: they do not
+// touch the wire.
+var netBlockingNames = map[string]bool{
+	"Do": true, "Get": true, "Post": true, "Head": true, "PostForm": true,
+	"RoundTrip": true, "Dial": true, "DialContext": true, "Listen": true,
+	"Accept": true,
+}
+
+func runLockHeld(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lockHeldFunc(pass, fd.Body)
+		}
+	}
+}
+
+// lockHeldFunc runs the may-hold-lock analysis over one function body
+// and recurses into its function literals.
+func lockHeldFunc(pass *Pass, body *ast.BlockStmt) {
+	g := BuildCFG(body)
+	transfer := func(n ast.Node, in FactSet[string]) FactSet[string] {
+		out := in
+		inspectShallow(n, func(m ast.Node) bool {
+			if _, isDefer := m.(*ast.DeferStmt); isDefer {
+				// defer x.Unlock() releases at exit, not here; defer
+				// x.Lock() would be bizarre — skip the whole statement.
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !isMutexReceiver(pass, sel) {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				out = out.With(exprString(sel.X))
+			case "Unlock", "RUnlock":
+				out = out.Without(exprString(sel.X))
+			}
+			return true
+		})
+		return out
+	}
+	in := ForwardMay(g, transfer)
+
+	reported := map[ast.Node]bool{}
+	for _, blk := range g.Blocks {
+		facts := in[blk]
+		for _, n := range blk.Nodes {
+			if len(facts) > 0 {
+				if at, what := blockingOp(pass, g, n); at != ast.Node(nil) && !reported[at] {
+					reported[at] = true
+					pass.Reportf(at.Pos(), "%s while holding %s; blocking inside a critical section convoys every waiter — release the lock first or move the work out",
+						what, heldList(facts))
+				}
+			}
+			facts = transfer(n, facts)
+		}
+	}
+
+	for _, lit := range FuncLits(body) {
+		lockHeldFunc(pass, lit.Body)
+	}
+}
+
+// heldList renders the held-lock fact set deterministically.
+func heldList(facts FactSet[string]) string {
+	names := make([]string, 0, len(facts))
+	for f := range facts {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+// blockingOp scans one CFG node for the first blocking operation and
+// returns it with a description, or (nil, "").
+func blockingOp(pass *Pass, g *CFG, n ast.Node) (at ast.Node, what string) {
+	if g.NonBlockingComm[n] {
+		return nil, ""
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		if at != nil {
+			return false
+		}
+		if _, isDefer := m.(*ast.DeferStmt); isDefer {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.SendStmt:
+			if !g.NonBlockingComm[m] {
+				at, what = m, "channel send"
+			}
+			return false
+		case *ast.UnaryExpr:
+			if m.Op.String() == "<-" {
+				at, what = m, "channel receive"
+				return false
+			}
+		case *ast.CallExpr:
+			if name, ok := blockingCall(pass, m); ok {
+				at, what = m, "call to "+name
+				return false
+			}
+		}
+		return true
+	})
+	return at, what
+}
+
+// blockingCall classifies one call expression.
+func blockingCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	name := calleeName(call)
+	if lockBlockingCallRe.MatchString(name) {
+		return name, true
+	}
+	fn := funcFor(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Sleep" {
+			return "time.Sleep", true
+		}
+	case "net", "net/http":
+		if netBlockingNames[fn.Name()] {
+			return fn.Pkg().Name() + " " + fn.Name(), true
+		}
+	case "sync":
+		if fn.Name() == "Wait" {
+			return "sync Wait", true
+		}
+	}
+	return "", false
+}
+
+// isMutexReceiver reports whether sel.X is a sync.Mutex or
+// sync.RWMutex value (or a pointer to one).
+func isMutexReceiver(pass *Pass, sel *ast.SelectorExpr) bool {
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

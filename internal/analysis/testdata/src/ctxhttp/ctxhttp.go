@@ -1,0 +1,52 @@
+// Package ctxhttp exercises the HTTP deadline-discipline analysis:
+// package-level default-client helpers are always flagged,
+// http.NewRequest is flagged wherever a context.Context is in scope,
+// and non-test http.Client literals must set Timeout or Transport.
+package ctxhttp
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func defaultClientCalls() {
+	_, _ = http.Get("http://example.invalid")                     // want "http.Get uses the default client"
+	_, _ = http.Post("http://example.invalid", "text/plain", nil) // want "http.Post uses the default client"
+	_, _ = http.Head("http://example.invalid")                    // want "http.Head uses the default client"
+}
+
+var bounded = &http.Client{Timeout: 5 * time.Second}
+
+func boundedCalls() {
+	// A Client method is fine: the client's Timeout bounds it.
+	_, _ = bounded.Get("http://example.invalid")
+}
+
+func withCtx(ctx context.Context) {
+	_, _ = http.NewRequest("GET", "http://example.invalid", nil) // want "http.NewRequest in a function with a context.Context in scope"
+	_, _ = http.NewRequestWithContext(ctx, "GET", "http://example.invalid", nil)
+}
+
+func withoutCtx() {
+	// No ctx reachable from here: nothing better to attach.
+	_, _ = http.NewRequest("GET", "http://example.invalid", nil)
+}
+
+func closureCtx(ctx context.Context) {
+	f := func() {
+		// The enclosing function carries the ctx this closure captures.
+		_, _ = http.NewRequest("GET", "http://example.invalid", nil) // want "http.NewRequest in a function with a context.Context in scope"
+	}
+	f()
+	_ = ctx
+}
+
+var unbounded = http.Client{} // want "http.Client literal with neither Timeout nor Transport"
+
+var withTransport = http.Client{Transport: http.DefaultTransport}
+
+func suppressed() {
+	//lint:ignore pcflint/ctxhttp golden test: probing the default client on purpose
+	_, _ = http.Get("http://example.invalid")
+}

@@ -1,0 +1,19 @@
+package ctxhttp
+
+import (
+	"net/http"
+	"time"
+)
+
+// In _test.go files the client-literal rule is off (tests build quick
+// throwaway clients against in-process servers), but the default-client
+// call rule still applies: a wedged handler must time a test out at the
+// client, not at the suite deadline.
+
+var testClientBare = http.Client{} // no diagnostic: _test.go is exempt from the literal rule
+
+var testClientBounded = http.Client{Timeout: time.Second}
+
+func helperGet() {
+	_, _ = http.Get("http://example.invalid") // want "http.Get uses the default client"
+}

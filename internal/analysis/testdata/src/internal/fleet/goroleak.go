@@ -1,0 +1,87 @@
+// Package fleet (golden fixture) exercises the goroutine-lifecycle
+// analysis: every go statement must join a WaitGroup, hand off to a
+// done channel, or terminate with a context; markers inside nested
+// function literals do not count, and same-package callees are
+// followed a few levels deep.
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"sync"
+)
+
+func worker() {}
+
+func runLoop(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func level1(ctx context.Context) { level2(ctx) }
+func level2(ctx context.Context) { <-ctx.Done() }
+
+type proxy struct{ srv *http.Server }
+
+func spawnAll(ctx context.Context, p *proxy) {
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	results := make(chan int)
+
+	wg.Add(1)
+	go func() { // WaitGroup join
+		defer wg.Done()
+	}()
+
+	go func() { // done-channel close
+		close(done)
+	}()
+
+	go func() { // done-channel send
+		results <- 1
+	}()
+
+	go func() { // ctx select
+		select {
+		case <-ctx.Done():
+		case v := <-results:
+			_ = v
+		}
+	}()
+
+	go func() { // bare ctx receive
+		<-ctx.Done()
+	}()
+
+	go func() { // AfterFunc registration
+		stop := context.AfterFunc(ctx, func() {})
+		defer stop()
+	}()
+
+	go runLoop(ctx) // same-package callee with a ctx select
+
+	go level1(ctx) // marker two calls deep, still within the follow depth
+
+	go worker() // want "goroutine has no visible lifecycle"
+
+	go func() { // want "goroutine has no visible lifecycle"
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+
+	go func() { // want "goroutine has no visible lifecycle"
+		// the marker sits in a nested literal, which need not run
+		f := func() { close(done) }
+		_ = f
+	}()
+
+	//lint:ignore pcflint/goroleak golden test: Serve returns when the listener is closed by Shutdown
+	go p.srv.Serve(nil)
+
+	wg.Wait()
+}

@@ -1,0 +1,109 @@
+// Package lockheld exercises the may-hold-lock analysis: blocking
+// operations (sleep, network I/O, channel ops, Solve*/Realize*/
+// Validate*) flagged while a sync.Mutex/RWMutex may be held on any
+// path, defer-aware, with select-default fast paths exempt.
+package lockheld
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	ch   chan int
+	done chan struct{}
+	n    int
+}
+
+func SolvePlan() int { return 1 }
+
+// Straight-line critical section: blocking between Lock and Unlock.
+func (s *server) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "call to time.Sleep while holding s.mu"
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond) // released: fine
+}
+
+// defer Unlock keeps the lock held to function exit.
+func (s *server) deferredUnlock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SolvePlan() // want "call to SolvePlan while holding s.mu"
+}
+
+// A lock held on only one path into a point still counts (may-hold).
+func (s *server) mayHold(cond bool) {
+	if cond {
+		s.mu.Lock()
+	}
+	time.Sleep(time.Millisecond) // want "call to time.Sleep while holding s.mu"
+	if cond {
+		s.mu.Unlock()
+	}
+}
+
+// Read locks are critical sections too.
+func (s *server) readLock(c *http.Client) {
+	s.rw.RLock()
+	_, _ = c.Get("http://example.invalid") // want "http Get while holding s.rw"
+	s.rw.RUnlock()
+}
+
+// Channel operations block; a select with a default does not.
+func (s *server) channels(v int) {
+	s.mu.Lock()
+	s.ch <- v // want "channel send while holding s.mu"
+	select {
+	case s.ch <- v: // non-blocking: select has a default
+	default:
+		s.n++
+	}
+	s.mu.Unlock()
+	s.ch <- v // released: fine
+}
+
+// Receives block as well.
+func (s *server) receive() {
+	s.mu.Lock()
+	<-s.done // want "channel receive while holding s.mu"
+	s.mu.Unlock()
+}
+
+// A function literal is a separate function: the enclosing lock is not
+// held when (if ever) the literal runs, and a lock taken inside the
+// literal is tracked there.
+func (s *server) literals() {
+	s.mu.Lock()
+	f := func() {
+		time.Sleep(time.Millisecond) // separate function: fine
+		s.mu.Lock()
+		time.Sleep(time.Millisecond) // want "call to time.Sleep while holding s.mu"
+		s.mu.Unlock()
+	}
+	s.mu.Unlock()
+	f()
+}
+
+// Unlock on every path before the blocking call: clean.
+func (s *server) unlockBothArms(cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+	} else {
+		s.mu.Unlock()
+	}
+	time.Sleep(time.Millisecond)
+}
+
+// Suppression: a deliberate blocking call under a lock with a reason.
+func (s *server) suppressed() {
+	s.mu.Lock()
+	//lint:ignore pcflint/lockheld golden test: deliberate serialization, documented
+	val := SolvePlan()
+	s.n = val
+	s.mu.Unlock()
+}

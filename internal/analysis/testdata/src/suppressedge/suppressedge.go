@@ -1,0 +1,18 @@
+// Package suppressedge exercises suppression-directive edge cases: a
+// directive whose comment group continues past it (e.g. a blank //
+// line) still suppresses the code line below the group, and a
+// directive naming an analyzer that does not exist is itself reported.
+package suppressedge
+
+var sink bool
+
+func edges(a, b float64) {
+	//lint:ignore pcflint/floatcmp golden test: the group continues with a blank comment line
+	//
+	sink = a == b
+	//lint:ignore pcflint/floatcmp golden test: and with a trailing prose line
+	// (the directive's comment group ends right above the code)
+	sink = a == b
+	//lint:ignore pcflint/nosuchanalyzer this analyzer does not exist
+	sink = a != b // want "floating-point != comparison"
+}

@@ -124,8 +124,14 @@ func TestProposition2(t *testing.T) {
 		prevTF = tf.Value
 	}
 	// FFC: 3 tunnels beat 4 tunnels on this gadget (non-monotone).
-	f3, _ := SolveFFC(fig1Instance(3, 1), SolveOptions{})
-	f4, _ := SolveFFC(fig1Instance(4, 1), SolveOptions{})
+	f3, err := SolveFFC(fig1Instance(3, 1), SolveOptions{})
+	if err != nil {
+		t.Fatalf("FFC with 3 tunnels: %v", err)
+	}
+	f4, err := SolveFFC(fig1Instance(4, 1), SolveOptions{})
+	if err != nil {
+		t.Fatalf("FFC with 4 tunnels: %v", err)
+	}
 	if f4.Value >= f3.Value-1e-6 {
 		t.Fatalf("expected FFC to degrade with the 4th tunnel: FFC-3=%g FFC-4=%g", f3.Value, f4.Value)
 	}
@@ -260,6 +266,7 @@ func nodePath(g *topology.Graph, nodes ...topology.NodeID) topology.Path {
 			}
 		}
 		if !found {
+			//lint:ignore pcflint/nopanic test fixture builder without a *testing.T; an impossible topology should stop the suite with a stack
 			panic("no link")
 		}
 	}

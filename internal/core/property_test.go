@@ -44,6 +44,7 @@ func randomInstance(rng *rand.Rand) *Instance {
 	}
 	ts, err := tunnels.Select(g, tm.Pairs(0), tunnels.SelectOptions{PerPair: 2 + rng.Intn(2)})
 	if err != nil {
+		//lint:ignore pcflint/nopanic property-test instance generator has no *testing.T; generation failure is a bug in the test itself
 		panic(err)
 	}
 	return &Instance{

@@ -1,6 +1,9 @@
 package eval
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestDeterministicRuns(t *testing.T) {
 	var vals []float64
@@ -15,7 +18,8 @@ func TestDeterministicRuns(t *testing.T) {
 		}
 		vals = append(vals, r.Value)
 	}
-	if vals[0] != vals[1] || vals[1] != vals[2] {
+	if math.Float64bits(vals[0]) != math.Float64bits(vals[1]) ||
+		math.Float64bits(vals[1]) != math.Float64bits(vals[2]) {
 		t.Fatalf("nondeterministic FFC: %v", vals)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"reflect"
 	"testing"
 	"time"
@@ -345,7 +346,7 @@ func TestPerturbDeterministic(t *testing.T) {
 		return sol.Objective
 	}
 	a, b := solvePerturbed(), solvePerturbed()
-	if a != b {
+	if math.Float64bits(a) != math.Float64bits(b) {
 		t.Fatalf("same seed, different objectives: %g vs %g", a, b)
 	}
 	if diff := a - ref.Objective; diff > 1e-4 || diff < -1e-4 {

@@ -2,6 +2,7 @@ package faultinject
 
 import (
 	"errors"
+	"math"
 	"testing"
 
 	"pcf/internal/core"
@@ -118,12 +119,12 @@ func TestIllConditionedUpdatesSweep(t *testing.T) {
 			return true
 		}
 		for i := range want.U {
-			if got.U[i] != want.U[i] {
+			if math.Float64bits(got.U[i]) != math.Float64bits(want.U[i]) {
 				t.Fatalf("under %v: U[%d] = %g, cold has %g (not bit-equal)", sc, i, got.U[i], want.U[i])
 			}
 		}
 		for a := range want.ArcLoad {
-			if got.ArcLoad[a] != want.ArcLoad[a] {
+			if math.Float64bits(got.ArcLoad[a]) != math.Float64bits(want.ArcLoad[a]) {
 				t.Fatalf("under %v: ArcLoad[%d] = %g, cold has %g (not bit-equal)", sc, a, got.ArcLoad[a], want.ArcLoad[a])
 			}
 		}

@@ -187,7 +187,7 @@ func TestFleetChaosSoak(t *testing.T) {
 			t.Fatalf("building envelope to corrupt: %v", err)
 		}
 		data, _ := corruptGrants(t, env).Encode()
-		resp, err := http.Post(nd.url()+PlanPath, "application/json", bytes.NewReader(data))
+		resp, err := testClient.Post(nd.url()+PlanPath, "application/json", bytes.NewReader(data))
 		if err != nil {
 			return // node may be dead or partitioned; the attempt still counts
 		}

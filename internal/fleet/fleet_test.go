@@ -18,7 +18,7 @@ func TestPlannerPlanAndLeaseEndpoints(t *testing.T) {
 	ts := httptest.NewServer(p)
 	defer ts.Close()
 
-	resp, err := http.Get(ts.URL + PlanPath)
+	resp, err := testClient.Get(ts.URL + PlanPath)
 	if err != nil {
 		t.Fatalf("fetching plan before publish: %v", err)
 	}
@@ -28,7 +28,7 @@ func TestPlannerPlanAndLeaseEndpoints(t *testing.T) {
 	}
 
 	publishEpochs(t, srv, 1)
-	resp, err = http.Get(ts.URL + PlanPath)
+	resp, err = testClient.Get(ts.URL + PlanPath)
 	if err != nil {
 		t.Fatalf("fetching plan: %v", err)
 	}
@@ -47,7 +47,7 @@ func TestPlannerPlanAndLeaseEndpoints(t *testing.T) {
 	}
 
 	// Conditional fetch: a replica already at epoch 1 gets a 304.
-	resp, err = http.Get(ts.URL + PlanPath + "?after=1")
+	resp, err = testClient.Get(ts.URL + PlanPath + "?after=1")
 	if err != nil {
 		t.Fatalf("conditional fetch: %v", err)
 	}
@@ -58,7 +58,7 @@ func TestPlannerPlanAndLeaseEndpoints(t *testing.T) {
 
 	// Heartbeat → lease with the newest epoch stamped in.
 	hb, _ := json.Marshal(map[string]any{"replica": "r1", "epoch": 0})
-	resp, err = http.Post(ts.URL+LeasePath, "application/json", bytes.NewReader(hb))
+	resp, err = testClient.Post(ts.URL+LeasePath, "application/json", bytes.NewReader(hb))
 	if err != nil {
 		t.Fatalf("heartbeat: %v", err)
 	}
@@ -72,7 +72,7 @@ func TestPlannerPlanAndLeaseEndpoints(t *testing.T) {
 	}
 
 	// A nameless heartbeat is malformed.
-	resp, err = http.Post(ts.URL+LeasePath, "application/json", bytes.NewReader([]byte(`{}`)))
+	resp, err = testClient.Post(ts.URL+LeasePath, "application/json", bytes.NewReader([]byte(`{}`)))
 	if err != nil {
 		t.Fatalf("bad heartbeat: %v", err)
 	}
@@ -119,7 +119,7 @@ func TestReplicaPullSyncAndLeaseHealth(t *testing.T) {
 
 	// With a plan installed and a fresh lease, the replica is ready.
 	waitFor(t, 2*time.Second, "replica healthz ok", func() bool {
-		resp, err := http.Get(rts.URL + "/healthz")
+		resp, err := testClient.Get(rts.URL + "/healthz")
 		if err != nil {
 			return false
 		}
@@ -130,7 +130,7 @@ func TestReplicaPullSyncAndLeaseHealth(t *testing.T) {
 	})
 
 	// Solve never lands on a replica.
-	resp, err := http.Post(rts.URL+"/v1/solve", "application/json", nil)
+	resp, err := testClient.Post(rts.URL+"/v1/solve", "application/json", nil)
 	if err != nil {
 		t.Fatalf("solve on replica: %v", err)
 	}
@@ -140,7 +140,7 @@ func TestReplicaPullSyncAndLeaseHealth(t *testing.T) {
 	}
 
 	// Realize does: the distributed plan serves traffic.
-	resp, err = http.Post(rts.URL+"/v1/realize?links=0", "application/json", nil)
+	resp, err = testClient.Post(rts.URL+"/v1/realize?links=0", "application/json", nil)
 	if err != nil {
 		t.Fatalf("realize on replica: %v", err)
 	}
@@ -153,14 +153,14 @@ func TestReplicaPullSyncAndLeaseHealth(t *testing.T) {
 	// reports degraded — but keeps serving its last validated plan.
 	pts.Close()
 	waitFor(t, 5*time.Second, "replica to degrade after planner loss", func() bool {
-		resp, err := http.Get(rts.URL + "/healthz")
+		resp, err := testClient.Get(rts.URL + "/healthz")
 		if err != nil {
 			return false
 		}
 		defer resp.Body.Close()
 		return resp.StatusCode == http.StatusServiceUnavailable
 	})
-	resp, err = http.Post(rts.URL+"/v1/realize?links=0", "application/json", nil)
+	resp, err = testClient.Post(rts.URL+"/v1/realize?links=0", "application/json", nil)
 	if err != nil {
 		t.Fatalf("realize on degraded replica: %v", err)
 	}
@@ -218,7 +218,7 @@ func TestPlannerPushesToAdvertisedReplica(t *testing.T) {
 		t.Fatalf("building envelope: %v", err)
 	}
 	data, _ := env.Encode()
-	resp, err := http.Post(repURL+PlanPath, "application/json", bytes.NewReader(data))
+	resp, err := testClient.Post(repURL+PlanPath, "application/json", bytes.NewReader(data))
 	if err != nil {
 		t.Fatalf("re-push: %v", err)
 	}
@@ -281,7 +281,7 @@ func TestReplicaRefusesBadEnvelopes(t *testing.T) {
 
 	push := func(body []byte) int {
 		t.Helper()
-		resp, err := http.Post(rts.URL+PlanPath, "application/json", bytes.NewReader(body))
+		resp, err := testClient.Post(rts.URL+PlanPath, "application/json", bytes.NewReader(body))
 		if err != nil {
 			t.Fatalf("push: %v", err)
 		}

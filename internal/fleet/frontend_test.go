@@ -60,7 +60,7 @@ func TestFrontendFailsOverOnDeadBackend(t *testing.T) {
 
 	get := func(path string) int {
 		t.Helper()
-		resp, err := http.Get(fts.URL + path)
+		resp, err := testClient.Get(fts.URL + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
 		}
@@ -79,7 +79,7 @@ func TestFrontendFailsOverOnDeadBackend(t *testing.T) {
 		if st := get("/v1/validate"); st != http.StatusOK {
 			t.Fatalf("validate after backend kill (attempt %d): status %d, want 200", i, st)
 		}
-		resp, err := http.Post(fts.URL+"/v1/realize?links=0", "application/json", nil)
+		resp, err := testClient.Post(fts.URL+"/v1/realize?links=0", "application/json", nil)
 		if err != nil {
 			t.Fatalf("realize after backend kill: %v", err)
 		}
@@ -125,7 +125,7 @@ func TestFrontendPrefersFreshHealthyBackends(t *testing.T) {
 	// Every request must land on the epoch-2 backend while it is
 	// healthy, even though two others are routable.
 	for i := 0; i < 12; i++ {
-		resp, err := http.Get(fts.URL + "/v1/plan")
+		resp, err := testClient.Get(fts.URL + "/v1/plan")
 		if err != nil {
 			t.Fatalf("plan: %v", err)
 		}
@@ -140,7 +140,7 @@ func TestFrontendPrefersFreshHealthyBackends(t *testing.T) {
 	// one while a healthy backend lives.
 	tsFresh.Close()
 	for i := 0; i < 6; i++ {
-		resp, err := http.Get(fts.URL + "/v1/plan")
+		resp, err := testClient.Get(fts.URL + "/v1/plan")
 		if err != nil {
 			t.Fatalf("plan after fresh death: %v", err)
 		}
@@ -193,7 +193,7 @@ func TestFrontendServesThroughSingleReplicaKill(t *testing.T) {
 		if sent.Load() == 20 && killed.CompareAndSwap(0, 1) {
 			nodes[0].ts.Close() // mid-traffic kill
 		}
-		resp, err := http.Post(fts.URL+"/v1/realize?links=0", "application/json", nil)
+		resp, err := testClient.Post(fts.URL+"/v1/realize?links=0", "application/json", nil)
 		if err != nil {
 			t.Fatalf("realize during kill window: %v", err)
 		}
@@ -202,7 +202,7 @@ func TestFrontendServesThroughSingleReplicaKill(t *testing.T) {
 			t.Fatalf("realize during kill window: status %d, want 200 (after %d requests)",
 				resp.StatusCode, sent.Load())
 		}
-		resp, err = http.Get(fts.URL + "/v1/validate")
+		resp, err = testClient.Get(fts.URL + "/v1/validate")
 		if err != nil {
 			t.Fatalf("validate during kill window: %v", err)
 		}

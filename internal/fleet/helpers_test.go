@@ -16,6 +16,11 @@ import (
 	"pcf/internal/tunnels"
 )
 
+// testClient is the HTTP client the fleet tests use against their
+// in-process planners, replicas and front ends. Bounded so a wedged
+// node fails one request, not the suite.
+var testClient = &http.Client{Timeout: 30 * time.Second}
+
 // testInstance builds the same 4-node ring the serve tests use: one
 // demand pair, two disjoint tunnels, one unconditional and one
 // conditional LS. Every fleet node must be built from its own copy —
@@ -144,6 +149,7 @@ func listenLocal(t *testing.T, addr string) net.Listener {
 // serveOn runs handler on ln with an http.Server the caller can Close.
 func serveOn(ln net.Listener, handler http.Handler) *http.Server {
 	hs := &http.Server{Handler: handler}
+	//lint:ignore pcflint/goroleak Serve returns when the test closes hs (Close drops the listener); the server is the lifecycle
 	go hs.Serve(ln)
 	return hs
 }

@@ -13,6 +13,7 @@ func TestSolveIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//lint:ignore pcflint/floatcmp this 2x2 integer system eliminates without rounding; the solution is exact
 	if x[0] != 3 || x[1] != 4 {
 		t.Fatalf("got %v", x)
 	}

@@ -243,6 +243,7 @@ func TestProportionalFailsOnCycles(t *testing.T) {
 	}
 	for _, pr := range ts.Pairs() {
 		for _, id := range ts.ForPair(pr) {
+			//lint:ignore pcflint/mutafterpub hand-assembled local plan, never published; the test fills reservations to provoke ErrBadSplit
 			plan.TunnelRes[id] = 0.3
 		}
 	}
@@ -322,6 +323,7 @@ func TestRemoveCycles(t *testing.T) {
 		revArcs = append(revArcs, fwd.Path.Arcs[i]^1)
 	}
 	revID := in.Tunnels.MustAdd(rev, topology.Path{Arcs: revArcs})
+	//lint:ignore pcflint/mutafterpub test grafts a reverse tunnel onto its local plan to manufacture a flow cycle
 	plan.TunnelRes[revID] = 1
 
 	flows := r.TunnelTo[5]
@@ -537,11 +539,19 @@ func ExampleRealizeProportional() {
 		Failures:  failures.SingleLinks(gad.Graph, 1),
 		Objective: core.DemandScale,
 	}
-	plan, _ := core.SolvePCFTF(in, core.SolveOptions{})
+	plan, err := core.SolvePCFTF(in, core.SolveOptions{})
+	if err != nil {
+		fmt.Println("solve:", err)
+		return
+	}
 
 	// Link 0 (s-1) dies; the router rescales locally.
 	sc := failures.Scenario{Dead: map[topology.LinkID]bool{0: true}}
-	r, _ := RealizeProportional(plan, sc)
+	r, err := RealizeProportional(plan, sc)
+	if err != nil {
+		fmt.Println("realize:", err)
+		return
+	}
 	if err := CheckRealization(plan, r); err != nil {
 		fmt.Println("congestion:", err)
 		return

@@ -350,7 +350,7 @@ func TestNewSweepContextCanceled(t *testing.T) {
 			return true
 		}
 		for i := range want.U {
-			if got.U[i] != want.U[i] {
+			if math.Float64bits(got.U[i]) != math.Float64bits(want.U[i]) {
 				t.Fatalf("under %v: U[%d] = %g, want %g", sc, i, got.U[i], want.U[i])
 			}
 		}
@@ -390,12 +390,12 @@ func TestSweepUpdateFaultFallsBack(t *testing.T) {
 			return true
 		}
 		for i := range want.U {
-			if got.U[i] != want.U[i] {
+			if math.Float64bits(got.U[i]) != math.Float64bits(want.U[i]) {
 				t.Fatalf("under %v: U[%d] = %g, cold has %g (not bit-equal)", sc, i, got.U[i], want.U[i])
 			}
 		}
 		for a := range want.ArcLoad {
-			if got.ArcLoad[a] != want.ArcLoad[a] {
+			if math.Float64bits(got.ArcLoad[a]) != math.Float64bits(want.ArcLoad[a]) {
 				t.Fatalf("under %v: ArcLoad[%d] = %g, cold has %g (not bit-equal)", sc, a, got.ArcLoad[a], want.ArcLoad[a])
 			}
 		}
@@ -455,7 +455,7 @@ func TestSweepMultiWorkerDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if worst != serialWorst {
+		if math.Float64bits(worst) != math.Float64bits(serialWorst) {
 			t.Fatalf("trial %d: parallel worst %.17g != serial %.17g", trial, worst, serialWorst)
 		}
 		if sc.String() != serialSc.String() {
@@ -476,10 +476,12 @@ func TestJacobiDefaultsPinned(t *testing.T) {
 	if DefaultJacobiMaxSweeps != 20000 {
 		t.Fatalf("DefaultJacobiMaxSweeps = %d, want 20000", DefaultJacobiMaxSweeps)
 	}
+	//lint:ignore pcflint/floatcmp pins the exact constant; a changed default must fail loudly
 	if DefaultJacobiTol != 1e-9 {
 		t.Fatalf("DefaultJacobiTol = %g, want 1e-9", DefaultJacobiTol)
 	}
 	o := AutoOptions{}.withDefaults()
+	//lint:ignore pcflint/floatcmp withDefaults copies the named constants verbatim
 	if o.MaxSweeps != DefaultJacobiMaxSweeps || o.Tol != DefaultJacobiTol {
 		t.Fatalf("withDefaults = (%d, %g), want the named constants", o.MaxSweeps, o.Tol)
 	}

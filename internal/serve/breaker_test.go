@@ -144,6 +144,7 @@ func TestBreakerConcurrentTripsAnneal(t *testing.T) {
 					b.Record(nil)
 				case w%3 == 1 && i%5 == 0:
 					if l := b.Level(); l < 0 || l > maxLevel {
+						//lint:ignore pcflint/nopanic t.Fatalf is illegal off the test goroutine; panic fails the race worker with a stack
 						panic(fmt.Sprintf("level %d out of [0,%d]", l, maxLevel))
 					}
 				default:

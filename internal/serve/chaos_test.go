@@ -70,6 +70,7 @@ func TestChaosSoak(t *testing.T) {
 		// scenario must overload an arc. Validation has to catch the
 		// congestion and refuse publication.
 		for pair := range p.Z {
+			//lint:ignore pcflint/mutafterpub chaos corruptor wrecks a pre-publication copy; validation must reject it
 			p.Z[pair] *= 3
 		}
 	}
@@ -191,7 +192,7 @@ func TestChaosSoak(t *testing.T) {
 			client(func(r *rand.Rand) {
 				const timeout = 10 * time.Second
 				start := time.Now()
-				resp, err := http.Post(ts.URL+"/v1/solve?timeout=10s", "", nil)
+				resp, err := testClient.Post(ts.URL+"/v1/solve?timeout=10s", "", nil)
 				if err != nil {
 					return
 				}
@@ -214,7 +215,7 @@ func TestChaosSoak(t *testing.T) {
 				}
 				const timeout = 5 * time.Second
 				start := time.Now()
-				resp, err := http.Post(ts.URL+"/v1/realize?timeout=5s"+links, "", nil)
+				resp, err := testClient.Post(ts.URL+"/v1/realize?timeout=5s"+links, "", nil)
 				if err != nil {
 					return
 				}
@@ -233,7 +234,7 @@ func TestChaosSoak(t *testing.T) {
 		client(func(r *rand.Rand) {
 			const timeout = 10 * time.Second
 			start := time.Now()
-			resp, err := http.Get(ts.URL + "/v1/validate?timeout=10s")
+			resp, err := testClient.Get(ts.URL + "/v1/validate?timeout=10s")
 			if err != nil {
 				return
 			}

@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"net/http"
 	"sync"
 	"testing"
+	"time"
 
 	"pcf/internal/core"
 	"pcf/internal/failures"
@@ -10,6 +12,13 @@ import (
 	"pcf/internal/traffic"
 	"pcf/internal/tunnels"
 )
+
+// testClient is the HTTP client every test uses against its in-process
+// server. The Timeout is generous (soak requests carry server-side
+// ?timeout= budgets up to 10s) but bounded: a wedged handler fails the
+// individual request instead of stalling the whole suite until the go
+// test deadline.
+var testClient = &http.Client{Timeout: 30 * time.Second}
 
 // testInstance builds a 4-node ring with one demand pair, two disjoint
 // tunnels, one unconditional LS and one conditional LS — the smallest

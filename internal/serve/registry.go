@@ -170,6 +170,7 @@ func (r *Registry) Recover(ctx context.Context, in *core.Instance) (*Published, 
 		if err != nil {
 			return nil, err
 		}
+		//lint:ignore pcflint/lockheld recovery runs once at startup before any request can contend; holding mu serializes recovery against a concurrent Publish, which is the point
 		stats, verr := routing.ValidateStats(ctx, plan, routing.ValidateOptions{})
 		if verr != nil {
 			path := r.store.snapshotPath(epoch)

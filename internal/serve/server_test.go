@@ -46,7 +46,7 @@ func decodeBody(t *testing.T, resp *http.Response) map[string]any {
 
 func mustPost(t *testing.T, url string) *http.Response {
 	t.Helper()
-	resp, err := http.Post(url, "", nil)
+	resp, err := testClient.Post(url, "", nil)
 	if err != nil {
 		t.Fatalf("POST %s: %v", url, err)
 	}
@@ -55,7 +55,7 @@ func mustPost(t *testing.T, url string) *http.Response {
 
 func mustGet(t *testing.T, url string) *http.Response {
 	t.Helper()
-	resp, err := http.Get(url)
+	resp, err := testClient.Get(url)
 	if err != nil {
 		t.Fatalf("GET %s: %v", url, err)
 	}
@@ -90,7 +90,7 @@ func TestServerSolvePlanRealizeValidate(t *testing.T) {
 
 	resp = mustGet(t, ts.URL+"/v1/plan")
 	info := decodeBody(t, resp)
-	if info["epoch"].(float64) != 1 {
+	if int(info["epoch"].(float64)) != 1 {
 		t.Fatalf("plan epoch = %v, want 1", info["epoch"])
 	}
 	if info["validated_scenarios"].(float64) < 1 {
@@ -114,7 +114,7 @@ func TestServerSolvePlanRealizeValidate(t *testing.T) {
 		t.Fatalf("POST /v1/realize: status %d: %s", resp.StatusCode, body)
 	}
 	real := decodeBody(t, resp)
-	if real["epoch"].(float64) != 1 {
+	if int(real["epoch"].(float64)) != 1 {
 		t.Fatalf("realize epoch = %v, want 1", real["epoch"])
 	}
 	if mlu := real["mlu"].(float64); mlu > 1+1e-9 {
@@ -136,7 +136,7 @@ func TestServerSolvePlanRealizeValidate(t *testing.T) {
 
 	resp = mustGet(t, ts.URL+"/debug/vars")
 	vars := decodeBody(t, resp)
-	if vars["epoch"].(float64) != 1 {
+	if int(vars["epoch"].(float64)) != 1 {
 		t.Fatalf("vars epoch = %v, want 1", vars["epoch"])
 	}
 	for _, key := range []string{"core_solve_stats", "routing_sweep_stats", "serving_sweep_stats", "requests"} {
@@ -180,9 +180,11 @@ func TestServerValidationRollback(t *testing.T) {
 				// Wreck the reservations: validation must now find an
 				// unrealizable or congested scenario.
 				for id := range p.TunnelRes {
+					//lint:ignore pcflint/mutafterpub fault hook corrupts the plan before publication to prove validation rejects it
 					p.TunnelRes[id] = 0
 				}
 				for id := range p.LSRes {
+					//lint:ignore pcflint/mutafterpub second half of the same deliberate pre-publication corruption
 					p.LSRes[id] = 0
 				}
 			}
@@ -210,7 +212,7 @@ func TestServerValidationRollback(t *testing.T) {
 	}
 	resp = mustGet(t, ts.URL+"/v1/plan")
 	info := decodeBody(t, resp)
-	if info["epoch"].(float64) != 1 {
+	if int(info["epoch"].(float64)) != 1 {
 		t.Fatalf("served epoch = %v, want the pre-corruption 1", info["epoch"])
 	}
 }
@@ -332,7 +334,7 @@ func TestServerSheddingUnderLoad(t *testing.T) {
 	// First solve occupies the worker (blocked inside the LP).
 	errc := make(chan error, 2)
 	go func() {
-		resp, err := http.Post(ts.URL+"/v1/solve", "", nil)
+		resp, err := testClient.Post(ts.URL+"/v1/solve", "", nil)
 		if err == nil {
 			resp.Body.Close()
 		}
@@ -354,7 +356,7 @@ func TestServerSheddingUnderLoad(t *testing.T) {
 	}
 	// Second solve sits in the queue.
 	go func() {
-		resp, err := http.Post(ts.URL+"/v1/solve?timeout=10s", "", nil)
+		resp, err := testClient.Post(ts.URL+"/v1/solve?timeout=10s", "", nil)
 		if err == nil {
 			resp.Body.Close()
 		}
@@ -441,7 +443,7 @@ func TestServerDrain(t *testing.T) {
 
 	respc := make(chan *http.Response, 1)
 	go func() {
-		resp, err := http.Post(ts.URL+"/v1/solve", "", nil)
+		resp, err := testClient.Post(ts.URL+"/v1/solve", "", nil)
 		if err != nil {
 			respc <- nil
 			return

@@ -1,6 +1,7 @@
 package topozoo
 
 import (
+	"math"
 	"testing"
 
 	"pcf/internal/failures"
@@ -31,7 +32,7 @@ func TestLoadDeterministic(t *testing.T) {
 	}
 	for i := 0; i < a.NumLinks(); i++ {
 		la, lb := a.Link(topology.LinkID(i)), b.Link(topology.LinkID(i))
-		if la.A != lb.A || la.B != lb.B || la.Capacity != lb.Capacity {
+		if la.A != lb.A || la.B != lb.B || math.Float64bits(la.Capacity) != math.Float64bits(lb.Capacity) {
 			t.Fatalf("link %d differs between loads", i)
 		}
 	}
@@ -198,6 +199,7 @@ func TestFig4FamilyProposition3Numbers(t *testing.T) {
 					t.Fatalf("first segment capacity %g", segTotal[0])
 				}
 				for s := 1; s < m; s++ {
+					//lint:ignore pcflint/floatcmp sum of n unit capacities is exact for these small n
 					if segTotal[s] != float64(n) {
 						t.Fatalf("segment %d capacity %g, want %d", s, segTotal[s], n)
 					}

@@ -1,7 +1,8 @@
 #!/bin/sh
 # check.sh is the contributor gate: formatting, vet, pcflint (the
-# repo's own static analyzers, see DESIGN.md §10), build, and the full
-# test suite under the race detector. Run it before sending a change.
+# repo's own static analyzers, see DESIGN.md §10 and §15), build, and
+# the full test suite under the race detector. Run it before sending a
+# change.
 set -eu
 
 # Resolve the script's real location so the gate works when invoked
@@ -30,8 +31,12 @@ fi
 echo "== go vet"
 go vet ./...
 
-echo "== pcflint"
-go run ./cmd/pcflint ./...
+echo "== pcflint (-tests: test files held to the same bar)"
+go run ./cmd/pcflint -tests ./...
+
+echo "== pcflint docs"
+# The analyzer table in DESIGN.md must match `pcflint -list` exactly.
+./scripts/lintdocs.sh
 
 echo "== go build"
 go build ./...

@@ -1,0 +1,36 @@
+#!/bin/sh
+# lintdocs.sh asserts the analyzer table in DESIGN.md §15 (between the
+# lintdocs:begin/end markers) is byte-identical to the live output of
+# `go run ./cmd/pcflint -list`. Adding, renaming or redocumenting an
+# analyzer without updating DESIGN.md fails the gate here.
+set -eu
+
+script=$0
+while [ -L "$script" ]; do
+	target=$(readlink "$script")
+	case $target in
+	/*) script=$target ;;
+	*) script=$(dirname "$script")/$target ;;
+	esac
+done
+cd "$(dirname "$script")/.."
+
+documented=$(awk '/<!-- lintdocs:begin -->/{f=1; next}
+	/<!-- lintdocs:end -->/{f=0}
+	f && !/^```/' DESIGN.md)
+if [ -z "$documented" ]; then
+	echo "lintdocs: no analyzer table found between lintdocs markers in DESIGN.md" >&2
+	exit 1
+fi
+
+actual=$(go run ./cmd/pcflint -list)
+
+if [ "$documented" != "$actual" ]; then
+	echo "lintdocs: DESIGN.md analyzer table is out of date with pcflint -list:" >&2
+	printf '%s\n' "$documented" >/tmp/lintdocs.documented
+	printf '%s\n' "$actual" >/tmp/lintdocs.actual
+	diff -u /tmp/lintdocs.documented /tmp/lintdocs.actual >&2 || true
+	rm -f /tmp/lintdocs.documented /tmp/lintdocs.actual
+	exit 1
+fi
+echo "lintdocs: DESIGN.md analyzer table matches pcflint -list"
