@@ -1,0 +1,135 @@
+// pcfbench ingests a bench.sh JSON summary into a telemetry record
+// store and gates on performance regressions: each benchmark becomes
+// one kind=bench record (name = benchmark name, fields = every
+// numeric column), and before appending, the new run is compared
+// against the most recent stored record of the same benchmark. A
+// relative regression beyond -threshold on -metric fails the run with
+// a nonzero exit — but only when a previous record exists, so a fresh
+// store never gates.
+//
+//	scripts/bench.sh                # runs the suite, then this tool
+//	pcfbench -in results/BENCH_2026-08-08.json -store results/telemetry
+//
+// The new run is recorded even when it regresses: the store is the
+// history of what happened, the exit code is the judgment. See
+// DESIGN.md §16 for the record schema.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"pcf/internal/telemetry"
+)
+
+type summary struct {
+	Date       string           `json:"date"`
+	Commit     string           `json:"commit"`
+	Go         string           `json:"go"`
+	Count      int              `json:"count"`
+	Benchmarks []map[string]any `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pcfbench: ")
+	in := flag.String("in", "", "bench.sh JSON summary to ingest (required)")
+	dir := flag.String("store", "", "telemetry store directory (required)")
+	metric := flag.String("metric", "ns_per_op", "field the regression gate compares")
+	threshold := flag.Float64("threshold", 0.20, "relative regression that fails the gate (0.20 = +20%)")
+	flag.Parse()
+	if *in == "" || *dir == "" {
+		log.Fatal("-in and -store are both required")
+	}
+
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sum summary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		log.Fatalf("parsing %s: %v", *in, err)
+	}
+	if len(sum.Benchmarks) == 0 {
+		log.Fatalf("%s holds no benchmarks", *in)
+	}
+
+	store, err := telemetry.Open(*dir, telemetry.StoreConfig{Logf: log.Printf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	// Baseline: the newest stored bench record per benchmark name,
+	// found by walking the whole stream (bench stores are small — one
+	// record per benchmark per run).
+	prev := map[string]telemetry.Record{}
+	for after := uint64(0); ; {
+		recs, cursor, err := store.ReadSince(after, 4096)
+		if err != nil {
+			log.Fatalf("reading store: %v", err)
+		}
+		for _, r := range recs {
+			if r.Kind == telemetry.KindBench {
+				prev[r.Name] = r
+			}
+		}
+		if cursor == after || len(recs) == 0 {
+			break
+		}
+		after = cursor
+	}
+
+	regressions := 0
+	names := make([]string, 0, len(sum.Benchmarks))
+	for _, b := range sum.Benchmarks {
+		name, _ := b["name"].(string)
+		if name == "" {
+			log.Fatalf("benchmark entry without a name in %s", *in)
+		}
+		names = append(names, name)
+		fields := map[string]float64{}
+		for k, v := range b {
+			if f, ok := v.(float64); ok {
+				fields[k] = f
+			}
+		}
+		cur, hasCur := fields[*metric]
+		if base, ok := prev[name]; ok && hasCur {
+			old := base.Field(*metric)
+			if old > 0 {
+				rel := (cur - old) / old
+				status := fmt.Sprintf("%+.1f%% vs %s", 100*rel, base.Time.Format("2006-01-02"))
+				if rel > *threshold {
+					regressions++
+					status += fmt.Sprintf(" — REGRESSION (gate %.0f%%)", 100**threshold)
+				}
+				fmt.Printf("%s: %s %.6g (%s)\n", name, *metric, cur, status)
+			}
+		} else {
+			fmt.Printf("%s: %s %.6g (no previous record, gate skipped)\n", name, *metric, cur)
+		}
+		store.Emit(telemetry.Record{
+			Kind:   telemetry.KindBench,
+			Source: "bench",
+			Name:   name,
+			Scheme: sum.Commit,
+			Time:   time.Now().UTC(),
+			Fields: fields,
+		})
+	}
+	if err := store.Sync(); err != nil {
+		log.Fatalf("syncing store: %v", err)
+	}
+	sort.Strings(names)
+	fmt.Printf("ingested %d benchmarks into %s\n", len(names), *dir)
+	if regressions > 0 {
+		store.Close()
+		log.Fatalf("%d benchmark(s) regressed more than %.0f%% on %s", regressions, 100**threshold, *metric)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -56,6 +57,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "traffic matrix seed")
 	f := flag.Int("f", 1, "simultaneous link failures to protect against")
 	stateDir := flag.String("state", "", "checkpoint directory (empty = no persistence)")
+	telemetryDir := flag.String("telemetry", "", "telemetry record store directory (empty = <state>/telemetry, or memory-only without -state)")
+	retainTelemetry := flag.Int("retain-telemetry", 0, "telemetry segments to keep (0 = default, negative = unlimited)")
 	solveOnStart := flag.Bool("solve-on-start", true, "solve and publish a plan at boot when no checkpoint recovers")
 	solves := flag.Int("solves", 1, "max concurrent plan solves")
 	realizes := flag.Int("realizes", 0, "max concurrent realizations (0 = NumCPU)")
@@ -115,9 +118,17 @@ func main() {
 		*topo, setup.Graph.NumNodes(), setup.Graph.NumLinks(), len(setup.Pairs),
 		*f, setup.Failures.NumScenariosExact())
 
+	// Telemetry rides with the checkpoints by default: a daemon given
+	// a state dir keeps its record stream next to its plans.
+	if *telemetryDir == "" && *stateDir != "" {
+		*telemetryDir = filepath.Join(*stateDir, "telemetry")
+	}
+
 	srv, err := serve.NewServer(serve.Config{
 		Instance:              clsIn,
 		StateDir:              *stateDir,
+		TelemetryDir:          *telemetryDir,
+		RetainTelemetry:       *retainTelemetry,
 		MaxConcurrentSolves:   *solves,
 		MaxConcurrentRealizes: *realizes,
 		QueueDepth:            *queue,
@@ -209,6 +220,10 @@ func main() {
 	}
 	if planner != nil {
 		planner.Drain()
+	}
+	// Seal the telemetry store last: the drain above may still emit.
+	if err := srv.Close(); err != nil {
+		log.Printf("telemetry close: %v", err)
 	}
 	log.Printf("drained, exiting")
 }

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"pcf/internal/fleet"
+	"pcf/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +36,7 @@ func main() {
 	backends := flag.String("backends", "", "comma-separated replica base URLs (required)")
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "active /healthz probe cadence")
 	probeTimeout := flag.Duration("probe-timeout", 0, "per-probe deadline (0 = probe interval, capped at 2s)")
+	telemetryDir := flag.String("telemetry", "", "telemetry record store directory for failover records (empty = discard)")
 	flag.Parse()
 
 	var urls []string
@@ -47,10 +49,21 @@ func main() {
 		log.Fatal("-backends requires at least one replica URL")
 	}
 
+	var sink telemetry.Emitter
+	if *telemetryDir != "" {
+		store, err := telemetry.Open(*telemetryDir, telemetry.StoreConfig{Logf: log.Printf})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer store.Close()
+		sink = store
+	}
+
 	fe, err := fleet.NewFrontend(fleet.FrontendConfig{
 		Backends:      urls,
 		ProbeInterval: *probeInterval,
 		ProbeTimeout:  *probeTimeout,
+		Telemetry:     sink,
 		Logf:          log.Printf,
 	})
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"pcf/internal/core"
 	"pcf/internal/eval"
 	"pcf/internal/routing"
+	"pcf/internal/telemetry"
 )
 
 // die prints the error and exits with the shared CLI code contract:
@@ -42,6 +43,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "overall solve deadline (0 = none), e.g. 30s")
 	validate := flag.Bool("validate", false, "replay every scenario and verify the congestion-free property")
 	showRes := flag.Bool("reservations", false, "print per-tunnel reservations")
+	telemetryDir := flag.String("telemetry", "", "append a solve record to this telemetry store directory")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -82,6 +84,15 @@ func main() {
 	if err != nil {
 		die(err)
 	}
+	var telStore *telemetry.Store
+	if *telemetryDir != "" {
+		telStore, err = telemetry.Open(*telemetryDir, telemetry.StoreConfig{Logf: log.Printf})
+		if err != nil {
+			die(err)
+		}
+		defer telStore.Close()
+		setup.Telemetry = telStore
+	}
 	fmt.Printf("%s: %d nodes, %d links, %d pairs, f=%d (%d scenarios), no-failure MLU %.3f\n",
 		*topo, setup.Graph.NumNodes(), setup.Graph.NumLinks(), len(setup.Pairs),
 		*f, setup.Failures.NumScenariosExact(), setup.MLU)
@@ -103,6 +114,14 @@ func main() {
 		}
 		fmt.Printf("%s guaranteed demand scale: %.4f (solved in %v)\n",
 			plan.Scheme, plan.Value, time.Since(start).Round(time.Millisecond))
+		if telStore != nil {
+			fields := plan.Stats.Metrics()
+			fields["value"] = plan.Value
+			telStore.Emit(telemetry.Record{
+				Kind: telemetry.KindSolve, Source: "eval", Name: *topo,
+				Scheme: plan.Scheme, Dur: time.Since(start), Fields: fields,
+			})
+		}
 		if line := eval.StatsLine(plan.Stats); line != "" {
 			fmt.Printf("lp: %s\n", line)
 		}

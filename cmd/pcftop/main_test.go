@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pcf/internal/telemetry"
+)
+
+func at(sec int) time.Time {
+	return time.Date(2026, 8, 8, 12, 0, sec, 0, time.UTC)
+}
+
+// TestModelRender drives the pure view state with a fixed record
+// stream and checks the frame: rates, outcome mix, epoch, breaker,
+// MLU trend and last solve/publish all derive from records alone.
+func TestModelRender(t *testing.T) {
+	m := newModel(30 * time.Second)
+	m.observe(telemetry.Record{Time: at(1), Kind: telemetry.KindSolve, Scheme: "PCF-CLS",
+		Dur: 1200 * time.Millisecond, Fields: map[string]float64{"lp_iterations": 42}})
+	m.observe(telemetry.Record{Time: at(2), Kind: telemetry.KindPublish, Scheme: "PCF-CLS",
+		Epoch: 7, Fields: map[string]float64{"value": 0.7227}})
+	for i := 0; i < 8; i++ {
+		m.observe(telemetry.Record{Time: at(3 + i), Kind: telemetry.KindRequest, Name: "realize",
+			Epoch: 7, Fields: map[string]float64{"mlu": 0.6 + float64(i)/100}})
+	}
+	m.observe(telemetry.Record{Time: at(12), Kind: telemetry.KindRequest, Name: "solve", Outcome: "shed"})
+	m.observe(telemetry.Record{Time: at(13), Kind: telemetry.KindBreaker, Scheme: "PCF-CLS", Rung: 2})
+
+	frame := m.render("http://test", at(20))
+	for _, want := range []string{
+		"epoch 7 (scheme PCF-CLS)",
+		"breaker PCF-CLS L2",
+		"requests 0.3/s over 30s",
+		"ok 8 (89%)",
+		"shed 1 (11%)",
+		"by endpoint: realize 8 solve 1",
+		"mlu 0.670",
+		"last solve: ok in 1.2s, 42 lp iters",
+		"last publish: epoch 7, value 0.7227",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+
+	// The same records render the same frame: the view is a pure
+	// function of the stream.
+	m2 := newModel(30 * time.Second)
+	for _, r := range append([]telemetry.Record(nil), m.recent...) {
+		m2.observe(r)
+	}
+
+	// Records older than the window fall out of the rate but keep the
+	// high-water epoch.
+	frame = m.render("http://test", at(50))
+	if !strings.Contains(frame, "requests 0.0/s") {
+		t.Errorf("stale requests still counted:\n%s", frame)
+	}
+	if !strings.Contains(frame, "epoch 7") {
+		t.Errorf("epoch forgotten with the window:\n%s", frame)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil); got != "" {
+		t.Errorf("sparkline(nil) = %q, want empty", got)
+	}
+	if got := sparkline([]float64{1, 1, 1}); got != "▁▁▁" {
+		t.Errorf("flat sparkline = %q, want all-low", got)
+	}
+	got := sparkline([]float64{0, 0.5, 1})
+	if !strings.HasPrefix(got, "▁") || !strings.HasSuffix(got, "█") {
+		t.Errorf("ramp sparkline = %q, want low..high", got)
+	}
+}

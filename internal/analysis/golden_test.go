@@ -109,8 +109,13 @@ func TestNoPanicGolden(t *testing.T)     { runGolden(t, NoPanic, "internal/quiet
 func TestMutAfterPubGolden(t *testing.T) { runGolden(t, MutAfterPub, "mutafterpub") }
 func TestLockHeldGolden(t *testing.T)    { runGolden(t, LockHeld, "lockheld") }
 func TestGoroLeakGolden(t *testing.T)    { runGolden(t, GoroLeak, "internal/fleet") }
-func TestCtxHTTPGolden(t *testing.T)     { runGolden(t, CtxHTTP, "ctxhttp") }
-func TestAtomicMixGolden(t *testing.T)   { runGolden(t, AtomicMix, "atomicmix") }
+
+// TestGoroLeakTelemetryGolden covers the analyzer's telemetry scope:
+// the store's flusher pattern (defer close of a joined done channel)
+// passes, a fire-and-forget loop reports.
+func TestGoroLeakTelemetryGolden(t *testing.T) { runGolden(t, GoroLeak, "internal/telemetry") }
+func TestCtxHTTPGolden(t *testing.T)           { runGolden(t, CtxHTTP, "ctxhttp") }
+func TestAtomicMixGolden(t *testing.T)         { runGolden(t, AtomicMix, "atomicmix") }
 
 // TestCtxHTTPTestFilesGolden reloads the ctxhttp fixture with its
 // _test.go file: the client-literal rule goes quiet there while the
@@ -156,8 +161,8 @@ func TestAnalyzerScoping(t *testing.T) {
 	if !NoPanic.Match("pcf/internal/lp") || !NoPanic.Match("internal/lp") {
 		t.Error("nopanic should match internal packages in both path styles")
 	}
-	if !GoroLeak.Match("internal/serve") || !GoroLeak.Match("pcf/internal/fleet") {
-		t.Error("goroleak should match internal/serve and internal/fleet in both path styles")
+	if !GoroLeak.Match("internal/serve") || !GoroLeak.Match("pcf/internal/fleet") || !GoroLeak.Match("pcf/internal/telemetry") {
+		t.Error("goroleak should match internal/serve, internal/fleet and internal/telemetry in both path styles")
 	}
 	if GoroLeak.Match("internal/routing") {
 		t.Error("goroleak should not match internal/routing")

@@ -13,7 +13,8 @@ import (
 // keeps checkpoints and sockets alive, and turns kill/restart chaos
 // cycles into slow leaks the soak tests only catch probabilistically.
 //
-// For every `go` statement in internal/serve and internal/fleet the
+// For every `go` statement in internal/serve, internal/fleet and
+// internal/telemetry the
 // analyzer inspects the goroutine body (a function literal's body
 // directly, or the declaration of a same-package callee, following
 // same-package calls a few levels deep) for one of the accepted
@@ -31,9 +32,11 @@ import (
 // close), suppress with the reason.
 var GoroLeak = &Analyzer{
 	Name: "goroleak",
-	Doc:  "every go statement in internal/serve and internal/fleet must join a lifecycle (WaitGroup, done channel, or ctx)",
+	Doc:  "every go statement in internal/serve, internal/fleet and internal/telemetry must join a lifecycle (WaitGroup, done channel, or ctx)",
 	Match: func(pkgPath string) bool {
-		return pathHasSuffix(pkgPath, "internal/serve") || pathHasSuffix(pkgPath, "internal/fleet")
+		return pathHasSuffix(pkgPath, "internal/serve") ||
+			pathHasSuffix(pkgPath, "internal/fleet") ||
+			pathHasSuffix(pkgPath, "internal/telemetry")
 	},
 	Run: runGoroLeak,
 }

@@ -1,0 +1,41 @@
+// Package telemetry (golden fixture) exercises the goroutine-lifecycle
+// analysis over the record store's shapes: the background flusher must
+// announce its exit over a done channel (the store's Close joins on
+// it), and a fire-and-forget writer goroutine is a leak.
+package telemetry
+
+import "time"
+
+type store struct {
+	done        chan struct{}
+	flusherDone chan struct{}
+}
+
+func (s *store) flushLoop() {
+	defer close(s.flusherDone) // done-channel close: Close() joins here
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+func open() *store {
+	s := &store{done: make(chan struct{}), flusherDone: make(chan struct{})}
+	go s.flushLoop() // same-package callee closes flusherDone
+	return s
+}
+
+func leakyOpen() *store {
+	s := &store{done: make(chan struct{}), flusherDone: make(chan struct{})}
+	go func() { // want "goroutine has no visible lifecycle"
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+	return s
+}

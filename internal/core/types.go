@@ -278,6 +278,20 @@ type SolveStats struct {
 	CompileTime time.Duration
 }
 
+// Metrics flattens the stats into the flat field schema shared by the
+// telemetry record model and the /debug/vars views (durations in
+// milliseconds). The keys are the one vocabulary for LP solve
+// statistics everywhere they surface.
+func (s SolveStats) Metrics() map[string]float64 {
+	return map[string]float64{
+		"rounds":          float64(s.Rounds),
+		"cuts":            float64(s.Cuts),
+		"warm_hits":       float64(s.WarmHits),
+		"lp_iterations":   float64(s.LPIterations),
+		"compile_time_ms": float64(s.CompileTime) / float64(time.Millisecond),
+	}
+}
+
 // ScaledDemand returns z_p * d_p for a pair under this plan.
 func (p *Plan) ScaledDemand(pair topology.Pair) float64 {
 	return p.Z[pair] * p.Instance.TM.At(pair)

@@ -17,6 +17,7 @@ import (
 	"pcf/internal/failures"
 	"pcf/internal/mcf"
 	"pcf/internal/routing"
+	"pcf/internal/telemetry"
 	"pcf/internal/topology"
 	"pcf/internal/topozoo"
 	"pcf/internal/traffic"
@@ -82,6 +83,23 @@ type Setup struct {
 	Pairs    []topology.Pair
 	Tunnels  *tunnels.Set // TunnelsPerPair tunnels per pair
 	Failures *failures.Set
+
+	// Telemetry, when non-nil, receives one record per scheme run —
+	// the same record schema the serving daemon emits, so offline
+	// evaluation results land in the same stores and queries as
+	// production solves. Nil discards.
+	Telemetry telemetry.Emitter
+}
+
+// emit hands a record to the setup's sink. Records carry the topology
+// as their name so multi-topology sweeps stay distinguishable.
+func (s *Setup) emit(rec telemetry.Record) {
+	if s.Telemetry == nil {
+		return
+	}
+	rec.Source = "eval"
+	rec.Name = s.Opts.Topology
+	s.Telemetry.Emit(rec)
 }
 
 // Prepare loads the topology, prunes degree-one nodes, optionally
@@ -150,6 +168,10 @@ type Result struct {
 	// simplex iterations, cutting-plane rounds and warm-start hits.
 	// Empty when the scheme exposes no statistics.
 	Stats string
+	// Fields is the numeric form of Stats — the same metric vocabulary
+	// telemetry records carry (see SolveStats.Metrics and friends).
+	// Nil when the scheme exposes no statistics.
+	Fields map[string]float64
 }
 
 // StatsLine formats a plan's solve statistics for display.
@@ -211,8 +233,33 @@ func (s *Setup) Run(scheme string) (Result, error) {
 // RunContext executes one scheme on the setup under a context: the
 // deadline and cancellation propagate into every LP solve and scenario
 // enumeration, and the resulting error wraps the context error. A nil
-// ctx means no bound.
+// ctx means no bound. Each run leaves one telemetry record behind when
+// the setup has a sink: solve records for the plan schemes, an mcf
+// record for the optimal sweep.
 func (s *Setup) RunContext(ctx context.Context, scheme string) (Result, error) {
+	start := time.Now()
+	res, err := s.runScheme(ctx, scheme)
+	kind := telemetry.KindSolve
+	if scheme == SchemeOptimal {
+		kind = telemetry.KindMCF
+	}
+	rec := telemetry.Record{Kind: kind, Scheme: scheme, Dur: time.Since(start)}
+	if err != nil {
+		rec.Outcome = "error"
+	} else {
+		rec.Dur = res.Time
+		rec.Fields = map[string]float64{"value": res.Value}
+		for k, v := range res.Fields {
+			rec.Fields[k] = v
+		}
+	}
+	s.emit(rec)
+	return res, err
+}
+
+// runScheme dispatches one scheme run; RunContext wraps it with
+// telemetry.
+func (s *Setup) runScheme(ctx context.Context, scheme string) (Result, error) {
 	start := time.Now()
 	solveOpts := core.SolveOptions{Context: ctx}
 	switch scheme {
@@ -222,13 +269,13 @@ func (s *Setup) RunContext(ctx context.Context, scheme string) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{Scheme: scheme, Value: plan.Value, Time: plan.SolveTime, Stats: StatsLine(plan.Stats)}, nil
+		return Result{Scheme: scheme, Value: plan.Value, Time: plan.SolveTime, Stats: StatsLine(plan.Stats), Fields: plan.Stats.Metrics()}, nil
 	case SchemePCFTF:
 		plan, err := core.SolvePCFTF(s.instance(0), solveOpts)
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{Scheme: scheme, Value: plan.Value, Time: plan.SolveTime, Stats: StatsLine(plan.Stats)}, nil
+		return Result{Scheme: scheme, Value: plan.Value, Time: plan.SolveTime, Stats: StatsLine(plan.Stats), Fields: plan.Stats.Metrics()}, nil
 	case SchemePCFLS:
 		in, err := s.lsInstance()
 		if err != nil {
@@ -238,7 +285,7 @@ func (s *Setup) RunContext(ctx context.Context, scheme string) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{Scheme: scheme, Value: plan.Value, Time: plan.SolveTime, Stats: StatsLine(plan.Stats)}, nil
+		return Result{Scheme: scheme, Value: plan.Value, Time: plan.SolveTime, Stats: StatsLine(plan.Stats), Fields: plan.Stats.Metrics()}, nil
 	case SchemePCFCLS, SchemePCFCLSTopSort:
 		mode := s.Opts.CLSMode
 		if mode == "" {
@@ -281,13 +328,13 @@ func (s *Setup) RunContext(ctx context.Context, scheme string) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{Scheme: scheme, Value: plan.Value, Time: time.Since(start), Extra: extra, Stats: StatsLine(plan.Stats)}, nil
+		return Result{Scheme: scheme, Value: plan.Value, Time: time.Since(start), Extra: extra, Stats: StatsLine(plan.Stats), Fields: plan.Stats.Metrics()}, nil
 	case SchemeR3:
 		plan, err := core.SolveR3(s.instance(0), solveOpts)
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{Scheme: scheme, Value: plan.Value, Time: plan.SolveTime, Stats: StatsLine(plan.Stats)}, nil
+		return Result{Scheme: scheme, Value: plan.Value, Time: plan.SolveTime, Stats: StatsLine(plan.Stats), Fields: plan.Stats.Metrics()}, nil
 	case SchemeOptimal:
 		if s.Opts.Objective == core.Throughput {
 			return Result{}, fmt.Errorf("eval: the paper does not compute the optimal for the throughput metric (combinatorial blow-up)")
@@ -296,7 +343,11 @@ func (s *Setup) RunContext(ctx context.Context, scheme string) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{Scheme: scheme, Value: z, Time: time.Since(start), Stats: SweepStatsLine(sw)}, nil
+		res := Result{Scheme: scheme, Value: z, Time: time.Since(start), Stats: SweepStatsLine(sw)}
+		if sw != nil {
+			res.Fields = sw.Metrics()
+		}
+		return res, nil
 	}
 	return Result{}, fmt.Errorf("eval: unknown scheme %q", scheme)
 }

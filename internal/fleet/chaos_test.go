@@ -3,6 +3,7 @@ package fleet
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -15,6 +16,7 @@ import (
 
 	"pcf/internal/faultinject"
 	"pcf/internal/serve"
+	"pcf/internal/telemetry"
 )
 
 // soakNode is one restartable serving replica: a stable address, a
@@ -49,7 +51,7 @@ func (n *soakNode) start() {
 	}
 	ln := listenLocal(n.t, n.addr)
 	n.addr = ln.Addr().String()
-	core := newCore(n.t, n.dir)
+	core := newNamedCore(n.t, n.dir, n.name)
 	if _, err := core.Recover(context.Background()); err != nil && !errors.Is(err, serve.ErrNoSnapshot) {
 		n.t.Fatalf("%s: recovering: %v", n.name, err)
 	}
@@ -71,7 +73,10 @@ func (n *soakNode) start() {
 }
 
 // kill stops the node hard: sync loop canceled, listener closed,
-// in-flight connections dropped. State dir and address survive.
+// in-flight connections dropped. State dir and address survive. The
+// telemetry store is released so the restarted core is the
+// directory's only writer (mid-segment crash salvage has its own
+// unit tests in internal/telemetry).
 func (n *soakNode) kill() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -80,6 +85,9 @@ func (n *soakNode) kill() {
 	}
 	n.cancel()
 	n.hs.Close()
+	if err := n.core.Close(); err != nil {
+		n.t.Errorf("%s: closing telemetry store: %v", n.name, err)
+	}
 	n.alive = false
 }
 
@@ -107,7 +115,8 @@ func (n *soakNode) isAlive() bool {
 // newest validated epoch. Run with -race; -short keeps the fault count
 // at the floor instead of piling on.
 func TestFleetChaosSoak(t *testing.T) {
-	plannerCore := newCore(t, filepath.Join(t.TempDir(), "planner"))
+	plannerCore := newNamedCore(t, filepath.Join(t.TempDir(), "planner"), "planner")
+	defer plannerCore.Close()
 	planner := NewPlanner(plannerCore, PlannerConfig{
 		LeaseTTL:    300 * time.Millisecond,
 		PushTimeout: 500 * time.Millisecond,
@@ -130,10 +139,19 @@ func TestFleetChaosSoak(t *testing.T) {
 		defer nodes[i].kill()
 	}
 
+	// The stateless front end gets a memory-only record sink: failover
+	// decisions are queryable like any other telemetry, they just
+	// don't survive the (stateless) process.
+	feStore, err := telemetry.Open("", telemetry.StoreConfig{})
+	if err != nil {
+		t.Fatalf("opening frontend telemetry store: %v", err)
+	}
+	defer feStore.Close()
 	fe, err := NewFrontend(FrontendConfig{
 		Backends:      []string{nodes[0].url(), nodes[1].url(), nodes[2].url()},
 		ProbeInterval: 25 * time.Millisecond,
 		ProbeTimeout:  300 * time.Millisecond,
+		Telemetry:     feStore,
 	})
 	if err != nil {
 		t.Fatalf("building frontend: %v", err)
@@ -297,6 +315,68 @@ func TestFleetChaosSoak(t *testing.T) {
 		t.Fatalf("post-convergence realize served epoch %s, want %d", got, final)
 	}
 
+	// The control plane narrated itself into the same telemetry tier
+	// the data plane uses, and the streams survived every kill: sync
+	// and lease records on the replicas (queried through the front
+	// end's proxy, which exercises the query endpoint as fleet
+	// traffic), grants and push attempts on the planner, failover
+	// decisions at the front end.
+	queryCount := func(base, params string) float64 {
+		t.Helper()
+		resp, err := client.Get(base + "/v1/telemetry/query?" + params)
+		if err != nil {
+			t.Fatalf("telemetry query %q: %v", params, err)
+		}
+		defer drainBody(resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("telemetry query %q: status %d", params, resp.StatusCode)
+		}
+		var out struct {
+			Buckets []telemetry.Bucket `json:"buckets"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decoding telemetry query %q: %v", params, err)
+		}
+		var n float64
+		for _, b := range out.Buckets {
+			n += float64(b.Count)
+		}
+		return n
+	}
+	syncRecs := queryCount(fts.URL, "kind=sync")
+	if syncRecs == 0 {
+		t.Error("no sync records queryable through the frontend")
+	}
+	if queryCount(fts.URL, "kind=lease") == 0 {
+		t.Error("no lease records on any replica")
+	}
+	var syncErrs float64
+	for _, nd := range nodes {
+		syncErrs += queryCount(nd.url(), "kind=sync&outcome=error")
+	}
+	if syncErrs == 0 {
+		t.Error("partitions fired but no sync round recorded an error")
+	}
+	grantRecs := queryCount(pts.URL, "kind=lease")
+	if grantRecs == 0 {
+		t.Error("planner recorded no lease grants")
+	}
+	pushRecs := queryCount(pts.URL, "kind=push")
+	if pushRecs == 0 {
+		t.Error("planner recorded no envelope pushes")
+	}
+	feBuckets, err := feStore.Query(telemetry.Query{Kind: telemetry.KindFailover, GroupBy: "outcome"})
+	if err != nil {
+		t.Fatalf("querying frontend failover records: %v", err)
+	}
+	var failovers float64
+	for _, b := range feBuckets {
+		failovers += float64(b.Count)
+	}
+	if failovers == 0 {
+		t.Error("replicas died but the frontend recorded no failover decisions")
+	}
+
 	// The soak must actually have hurt: enough faults fired, at least
 	// one envelope arrived torn, partitions actually blocked traffic,
 	// replicas died, garbage was offered — and none of it broke the
@@ -328,8 +408,10 @@ func TestFleetChaosSoak(t *testing.T) {
 		t.Error("no corrupt envelope was ever pushed")
 	}
 	t.Logf("soak: %d faults (%d scheduled, %d torn, %d blocked, %d kills, %d corrupt pushes), "+
-		"%d/%d frontend requests OK, %d invalid envelopes refused, converged at epoch %d",
-		faults, scheduled, torn, blocked, kills, corruptPushes, feOK, feRequests, rejectedInvalid, final)
+		"%d/%d frontend requests OK, %d invalid envelopes refused, converged at epoch %d; "+
+		"telemetry: %g syncs (%g failed), %g grants, %g pushes, %g failovers",
+		faults, scheduled, torn, blocked, kills, corruptPushes, feOK, feRequests, rejectedInvalid, final,
+		syncRecs, syncErrs, grantRecs, pushRecs, failovers)
 }
 
 func mustHost(t *testing.T, raw string) string {

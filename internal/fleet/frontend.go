@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"pcf/internal/serve"
+	"pcf/internal/telemetry"
 )
 
 // FrontendConfig parameterizes a Frontend.
@@ -29,6 +30,12 @@ type FrontendConfig struct {
 	// Transport carries both proxied requests and probes; nil means
 	// http.DefaultTransport. Chaos tests inject faults here.
 	Transport http.RoundTripper
+	// Telemetry receives a failover record per routing decision that
+	// departs from the happy path: a backend ejected, a request retried
+	// on the next backend, or a request refused for lack of any
+	// routable backend. Nil discards them — the front end is stateless
+	// and has no store of its own.
+	Telemetry telemetry.Emitter
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -93,6 +100,9 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.Discard
+	}
 	f := &Frontend{
 		cfg:         cfg,
 		probeClient: &http.Client{Transport: cfg.Transport, Timeout: cfg.ProbeTimeout},
@@ -121,6 +131,18 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 		f.backends = append(f.backends, b)
 	}
 	return f, nil
+}
+
+// failover emits one routing-departure record: outcome is "eject",
+// "retry" or "no_backend"; name is the backend involved (empty for
+// no_backend — there was none).
+func (f *Frontend) failover(outcome, backend string) {
+	f.cfg.Telemetry.Emit(telemetry.Record{
+		Kind:    telemetry.KindFailover,
+		Source:  "frontend",
+		Name:    backend,
+		Outcome: outcome,
+	})
 }
 
 // Run drives the probe loop until ctx ends.
@@ -167,6 +189,7 @@ func (f *Frontend) probe(ctx context.Context, b *backend) {
 	if err != nil {
 		if b.alive.CompareAndSwap(true, false) {
 			f.cfg.Logf("fleet: frontend ejecting %s: %v", b.base, err)
+			f.failover("eject", b.base)
 		}
 		return
 	}
@@ -286,6 +309,7 @@ func (f *Frontend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	candidates := f.pick()
 	if len(candidates) == 0 {
 		f.noRoutes.Add(1)
+		f.failover("no_backend", "")
 		http.Error(w, `{"error":"`+ErrNoBackend.Error()+`"}`, http.StatusServiceUnavailable)
 		return
 	}
@@ -316,11 +340,13 @@ func (f *Frontend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// it immediately — the next probe round re-admits it if it
 		// recovered — and fail over when the request allows it.
 		b.alive.Store(false)
+		f.failover("eject", b.base)
 		f.cfg.Logf("fleet: frontend attempt %d to %s failed: %v", i+1, b.base, attemptErr)
 		if rec.wroteHeader || !canRetry || i == len(candidates)-1 {
 			break
 		}
 		f.retries.Add(1)
+		f.failover("retry", b.base)
 	}
 	if !rec.wroteHeader {
 		http.Error(w, `{"error":"all backends failed"}`, http.StatusBadGateway)

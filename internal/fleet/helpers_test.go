@@ -4,6 +4,7 @@ import (
 	"context"
 	"net"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -88,6 +89,26 @@ func newCore(t *testing.T, stateDir string) *serve.Server {
 	srv, err := serve.NewServer(serve.Config{
 		Instance:     testInstance(),
 		StateDir:     stateDir,
+		QueueDepth:   16,
+		DrainTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatalf("building serve core: %v", err)
+	}
+	return srv
+}
+
+// newNamedCore is newCore with a fleet identity: records carry the
+// node's name as their source and persist under stateDir/telemetry,
+// so the telemetry stream survives the kill/restart cycles the chaos
+// soak inflicts.
+func newNamedCore(t *testing.T, stateDir, name string) *serve.Server {
+	t.Helper()
+	srv, err := serve.NewServer(serve.Config{
+		Instance:     testInstance(),
+		StateDir:     stateDir,
+		TelemetryDir: filepath.Join(stateDir, "telemetry"),
+		Source:       name,
 		QueueDepth:   16,
 		DrainTimeout: time.Second,
 	})

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"pcf/internal/serve"
+	"pcf/internal/telemetry"
 )
 
 // heartbeat is the replica→planner lease request body.
@@ -98,6 +99,14 @@ func NewPlanner(srv *serve.Server, cfg PlannerConfig) *Planner {
 // Granter exposes the lease authority (tests and /v1/fleet/status).
 func (p *Planner) Granter() *Granter { return p.granter }
 
+// emit stamps a record as the planner's and hands it to the core's
+// sink, so grants and pushes are queryable next to solve/publish
+// records on the same node.
+func (p *Planner) emit(rec telemetry.Record) {
+	rec.Source = "planner"
+	p.srv.Emitter().Emit(rec)
+}
+
 // ServeHTTP implements http.Handler: fleet control-plane endpoints
 // first, everything else to the serving core.
 func (p *Planner) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -158,6 +167,15 @@ func (p *Planner) handleLease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	lease := p.granter.Grant(hb.Replica, hb.URL, hb.Epoch, p.srv.Registry().Epoch())
+	p.emit(telemetry.Record{
+		Kind:  telemetry.KindLease,
+		Name:  hb.Replica,
+		Epoch: lease.Epoch,
+		Fields: map[string]float64{
+			"term":          float64(lease.Term),
+			"replica_epoch": float64(hb.Epoch),
+		},
+	})
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(lease)
 }
@@ -199,32 +217,47 @@ func (p *Planner) onPublish(pub *serve.Published) {
 // the delivery guarantee, push is latency icing.
 func (p *Planner) pushEnvelope(epoch uint64, data []byte, targets []string) {
 	for _, base := range targets {
-		ctx, cancel := context.WithTimeout(context.Background(), p.cfg.PushTimeout)
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+PlanPath, bytes.NewReader(data))
-		if err != nil {
-			cancel()
-			p.pushFailed.Add(1)
-			continue
-		}
-		req.Header.Set("Content-Type", "application/json")
-		resp, err := p.cfg.PushClient.Do(req)
-		if err != nil {
-			cancel()
-			p.pushFailed.Add(1)
-			p.cfg.Logf("fleet: push of epoch %d to %s failed: %v", epoch, base, err)
-			continue
-		}
-		if resp.StatusCode >= 300 && resp.StatusCode != http.StatusConflict {
-			// 409 means the replica already moved past this epoch —
-			// that is convergence, not failure.
-			p.pushFailed.Add(1)
-			p.cfg.Logf("fleet: push of epoch %d to %s: status %d", epoch, base, resp.StatusCode)
-		} else {
+		start := time.Now()
+		outcome := p.pushOne(epoch, data, base)
+		if outcome == "" {
 			p.pushOK.Add(1)
+		} else {
+			p.pushFailed.Add(1)
 		}
-		drainBody(resp)
-		cancel()
+		p.emit(telemetry.Record{
+			Kind:    telemetry.KindPush,
+			Name:    base,
+			Epoch:   epoch,
+			Outcome: outcome,
+			Dur:     time.Since(start),
+		})
 	}
+}
+
+// pushOne offers the envelope to a single target; the returned outcome
+// is empty on success (including 409 convergence) and "error"
+// otherwise.
+func (p *Planner) pushOne(epoch uint64, data []byte, base string) string {
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.PushTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+PlanPath, bytes.NewReader(data))
+	if err != nil {
+		return "error"
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.cfg.PushClient.Do(req)
+	if err != nil {
+		p.cfg.Logf("fleet: push of epoch %d to %s failed: %v", epoch, base, err)
+		return "error"
+	}
+	defer drainBody(resp)
+	if resp.StatusCode >= 300 && resp.StatusCode != http.StatusConflict {
+		// 409 means the replica already moved past this epoch —
+		// that is convergence, not failure.
+		p.cfg.Logf("fleet: push of epoch %d to %s: status %d", epoch, base, resp.StatusCode)
+		return "error"
+	}
+	return ""
 }
 
 // Drain waits for in-flight pushes; call on shutdown.

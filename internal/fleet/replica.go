@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"pcf/internal/serve"
+	"pcf/internal/telemetry"
 )
 
 // ReplicaConfig parameterizes a Replica.
@@ -127,6 +128,14 @@ func (r *Replica) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 
 // Holder exposes the replica's lease state.
 func (r *Replica) Holder() *Holder { return r.holder }
+
+// emit stamps a record with this replica's name and hands it to the
+// core's sink, so fleet sync/lease records land in the same store (and
+// snapshot, and query API) as the node's own request records.
+func (r *Replica) emit(rec telemetry.Record) {
+	rec.Source = r.cfg.Name
+	r.srv.Emitter().Emit(rec)
+}
 
 // Applied reports how many envelopes were validated and installed.
 func (r *Replica) Applied() int64 { return r.applied.Load() }
@@ -260,17 +269,43 @@ func (r *Replica) withJitter(d time.Duration) time.Duration {
 	return time.Duration(int64(d) - half/2 + r.jitter.Int63n(half+1))
 }
 
-// syncOnce is one heartbeat + conditional fetch round.
-func (r *Replica) syncOnce(ctx context.Context) error {
+// syncOnce is one heartbeat + conditional fetch round. Every round —
+// success or failure — leaves a sync record behind; each lease grant
+// observed leaves a lease record with its accept/stale outcome.
+func (r *Replica) syncOnce(ctx context.Context) (err error) {
+	start := time.Now()
+	defer func() {
+		rec := telemetry.Record{
+			Kind:  telemetry.KindSync,
+			Name:  "sync",
+			Epoch: r.srv.Registry().Epoch(),
+			Dur:   time.Since(start),
+		}
+		if err != nil {
+			rec.Outcome = "error"
+		}
+		r.emit(rec)
+	}()
 	lease, err := r.heartbeat(ctx)
 	if err != nil {
 		return fmt.Errorf("heartbeat: %w", err)
 	}
-	if err := r.holder.Observe(lease); err != nil {
+	leaseRec := telemetry.Record{
+		Kind:  telemetry.KindLease,
+		Name:  "observe",
+		Epoch: lease.Epoch,
+		Fields: map[string]float64{
+			"term":   float64(lease.Term),
+			"ttl_ms": float64(lease.TTLMillis),
+		},
+	}
+	if oerr := r.holder.Observe(lease); oerr != nil {
 		// A stale term is suspicious but not fatal to syncing: refuse
 		// the grant, keep the newer lease we already hold.
-		r.cfg.Logf("fleet: %s refused lease: %v", r.cfg.Name, err)
+		leaseRec.Outcome = "stale"
+		r.cfg.Logf("fleet: %s refused lease: %v", r.cfg.Name, oerr)
 	}
+	r.emit(leaseRec)
 	if lease.Epoch > r.srv.Registry().Epoch() {
 		if err := r.fetchAndApply(ctx); err != nil {
 			return fmt.Errorf("fetch: %w", err)

@@ -284,6 +284,23 @@ func (s SweepStats) WarmHitRate() float64 {
 	return float64(s.WarmHits) / float64(s.Scenarios)
 }
 
+// Metrics flattens the stats into the flat field schema shared by the
+// telemetry record model and the /debug/vars views (durations in
+// milliseconds). The keys are the one vocabulary for MCF-sweep
+// statistics everywhere they surface.
+func (s SweepStats) Metrics() map[string]float64 {
+	return map[string]float64{
+		"scenarios":       float64(s.Scenarios),
+		"workers":         float64(s.Workers),
+		"warm_hits":       float64(s.WarmHits),
+		"cold_solves":     float64(s.ColdSolves),
+		"warm_hit_rate":   s.WarmHitRate(),
+		"lp_iterations":   float64(s.LPIterations),
+		"compile_time_ms": float64(s.CompileTime) / float64(time.Millisecond),
+		"total_ms":        float64(s.Total) / float64(time.Millisecond),
+	}
+}
+
 // OptimalUnderFailures computes the intrinsic network capability for
 // the demand-scale metric: the worst over all scenarios in fs of the
 // optimal per-scenario concurrent flow. It also returns the worst

@@ -51,6 +51,23 @@ func (s SweepStats) SMWHitRate() float64 {
 	return float64(s.SMWHits) / float64(s.Scenarios)
 }
 
+// Metrics flattens the stats into the flat field schema shared by the
+// telemetry record model and the /debug/vars views (durations in
+// milliseconds). The keys are the one vocabulary for validation-sweep
+// statistics everywhere they surface.
+func (s SweepStats) Metrics() map[string]float64 {
+	return map[string]float64{
+		"scenarios":           float64(s.Scenarios),
+		"workers":             float64(s.Workers),
+		"smw_hits":            float64(s.SMWHits),
+		"fallbacks":           float64(s.Fallbacks),
+		"max_rank":            float64(s.MaxRank),
+		"smw_hit_rate":        s.SMWHitRate(),
+		"base_factor_time_ms": float64(s.BaseFactorTime) / float64(time.Millisecond),
+		"total_ms":            float64(s.Total) / float64(time.Millisecond),
+	}
+}
+
 // sweepLS is a positive-reservation logical sequence translated into
 // universe-row coordinates.
 type sweepLS struct {

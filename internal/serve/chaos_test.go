@@ -39,6 +39,7 @@ func TestChaosSoak(t *testing.T) {
 	}
 
 	dir := t.TempDir()
+	telDir := filepath.Join(dir, "telemetry")
 	inst := testInstance()
 
 	// Seeded, switchable fault plan: while enabled, every third LP
@@ -79,6 +80,7 @@ func TestChaosSoak(t *testing.T) {
 		s, err := NewServer(Config{
 			Instance:            inst,
 			StateDir:            dir,
+			TelemetryDir:        telDir,
 			MaxConcurrentSolves: 1,
 			QueueDepth:          1, // undersized on purpose: shedding is part of the chaos
 			LPFaultHook:         hook,
@@ -255,9 +257,15 @@ func TestChaosSoak(t *testing.T) {
 
 		// Kill without drain: the httptest server goes away, nothing
 		// is flushed beyond what Save already fsync'd. Record the
-		// newest published epoch as the recovery target.
+		// newest published epoch as the recovery target. The telemetry
+		// store is released so the next cycle's server is the directory's
+		// only writer (mid-segment crash salvage has its own unit tests
+		// in internal/telemetry).
 		lastGood = s.Registry().Epoch()
 		ts.Close()
+		if err := s.Close(); err != nil {
+			t.Errorf("cycle %d: closing telemetry store: %v", cycle, err)
+		}
 
 		// Between the second-to-last and last cycle, tear the newest
 		// snapshot: recovery must quarantine it and fall back.
@@ -289,6 +297,41 @@ func TestChaosSoak(t *testing.T) {
 	if err != nil || len(quarantined) == 0 {
 		t.Errorf("torn snapshot was not quarantined (found %v, err %v)", quarantined, err)
 	}
-	t.Logf("chaos: %d ok solves, %d failed solves, %d ok realizes, %d shed, %d corruptions attempted, %d epochs published",
-		okSolves, failedSolves, okRealizes, shed, corruptions.Load(), len(published))
+
+	// The soak's telemetry survived every kill and is queryable over
+	// the HTTP API: request traffic was recorded, and every epoch a
+	// surviving publish record names was actually validated+published.
+	faultsOn.Store(false)
+	corruptOn.Store(false)
+	s, ts := newServer()
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+	resp := mustGet(t, ts.URL+"/v1/telemetry/query?kind=request&group_by=name")
+	reqGroups := decodeBody(t, resp)
+	reqCount := 0.0
+	for _, raw := range reqGroups["buckets"].([]any) {
+		reqCount += raw.(map[string]any)["count"].(float64)
+	}
+	if reqCount == 0 {
+		t.Errorf("soak produced no queryable request records")
+	}
+	resp = mustGet(t, ts.URL+"/v1/telemetry/query?kind=publish&outcome=ok&group_by=epoch")
+	pubGroups := decodeBody(t, resp)
+	pubBuckets, _ := pubGroups["buckets"].([]any)
+	if len(pubBuckets) == 0 {
+		t.Errorf("soak produced no queryable publish records")
+	}
+	for _, raw := range pubBuckets {
+		g := raw.(map[string]any)["group"].(string)
+		var e uint64
+		fmt.Sscanf(g, "%d", &e)
+		if !published[e] {
+			t.Errorf("telemetry holds a publish record for epoch %s that was never validated+published", g)
+		}
+	}
+
+	t.Logf("chaos: %d ok solves, %d failed solves, %d ok realizes, %d shed, %d corruptions attempted, %d epochs published, %g request records",
+		okSolves, failedSolves, okRealizes, shed, corruptions.Load(), len(published), reqCount)
 }

@@ -5,28 +5,40 @@ import (
 	"fmt"
 	"net/http"
 
-	"pcf/internal/core"
-	"pcf/internal/mcf"
-	"pcf/internal/routing"
+	"pcf/internal/telemetry"
 )
 
 // Metrics live on a per-server expvar.Map rather than the process-wide
 // expvar registry: expvar.NewMap panics on duplicate names, which
 // would make a second Server in the same process (every test binary)
 // impossible. The map is served on the daemon's own /debug/vars.
+//
+// Every value here is a projection of the telemetry record stream: the
+// handlers emit Records, the store persists them, and the snapshot the
+// expvars read is just another Emitter on the same fan-out. There is no
+// second bookkeeping path to drift out of sync.
 
 func (s *Server) initVars() {
 	m := new(expvar.Map).Init()
-	m.Set("requests", &s.requests)
-	m.Set("requests_denied", &s.deniedReqs)
-	m.Set("solve_failures", &s.solveFailures)
+	m.Set("requests", expvar.Func(func() any {
+		return s.snap.NameCounts(telemetry.KindRequest)
+	}))
+	m.Set("requests_denied", expvar.Func(func() any {
+		return s.snap.Count(telemetry.KindRequest, "shed") +
+			s.snap.Count(telemetry.KindRequest, "error")
+	}))
+	m.Set("solve_failures", expvar.Func(func() any {
+		return s.snap.Count(telemetry.KindSolve, "shed") +
+			s.snap.Count(telemetry.KindSolve, "error")
+	}))
 	m.Set("admission_shed", expvar.Func(func() any { return s.adm.Shed() }))
 	m.Set("admission_queued_solve", expvar.Func(func() any { return s.adm.Queued(ClassSolve) }))
 	m.Set("admission_queued_realize", expvar.Func(func() any { return s.adm.Queued(ClassRealize) }))
 	m.Set("epoch", expvar.Func(func() any { return s.reg.Epoch() }))
 	// The full readiness report: the same JSON /healthz serves, so an
 	// operator scraping /debug/vars sees lease freshness, breaker
-	// levels and checkpoint writability without a second probe.
+	// levels and checkpoint/telemetry writability without a second
+	// probe.
 	m.Set("health", expvar.Func(func() any { return s.Health() }))
 	m.Set("breakers", expvar.Func(func() any {
 		s.breakerMu.Lock()
@@ -37,78 +49,38 @@ func (s *Server) initVars() {
 		}
 		return out
 	}))
-	// The three engine statistics structs (satellite surface of the
-	// observability story): LP work behind the last solved plan, the
-	// realization sweep behind the last validation, and the warm-start
-	// MCF sweep behind the last /v1/optimal.
+	// The three engine statistics surfaces: the last successful solve,
+	// validation sweep and MCF sweep, each read straight out of the
+	// record stream (the Fields maps ARE the engines' Metrics()).
 	m.Set("core_solve_stats", expvar.Func(func() any {
-		s.statsMu.Lock()
-		defer s.statsMu.Unlock()
-		if !s.haveSolve {
-			return nil
-		}
-		return statsView(s.lastSolve)
+		return lastFields(s.snap, telemetry.KindSolve)
 	}))
 	m.Set("routing_sweep_stats", expvar.Func(func() any {
-		s.statsMu.Lock()
-		st := s.lastValidate
-		s.statsMu.Unlock()
-		return sweepView(st)
+		return lastFields(s.snap, telemetry.KindValidate)
 	}))
 	m.Set("serving_sweep_stats", expvar.Func(func() any {
 		pub, err := s.reg.Current()
 		if err != nil {
 			return nil
 		}
-		return sweepView(pub.Sweep.Stats())
+		return pub.Sweep.Stats().Metrics()
 	}))
 	m.Set("mcf_sweep_stats", expvar.Func(func() any {
-		s.statsMu.Lock()
-		defer s.statsMu.Unlock()
-		if !s.haveMCF {
-			return nil
-		}
-		return mcfView(s.lastMCF)
+		return lastFields(s.snap, telemetry.KindMCF)
 	}))
+	// The telemetry store's own operational counters.
+	m.Set("telemetry", expvar.Func(func() any { return s.tel.Stats() }))
 	s.vars = m
 }
 
-// statsView, sweepView and mcfView flatten the engine stats structs
-// into JSON-friendly maps (durations as milliseconds).
-func statsView(st core.SolveStats) map[string]any {
-	return map[string]any{
-		"rounds":          st.Rounds,
-		"cuts":            st.Cuts,
-		"warm_hits":       st.WarmHits,
-		"lp_iterations":   st.LPIterations,
-		"compile_time_ms": st.CompileTime.Milliseconds(),
+// lastFields returns the numeric payload of the last successful record
+// of a kind, nil before the first one.
+func lastFields(snap *telemetry.Snapshot, k telemetry.Kind) any {
+	r, ok := snap.LastOK(k)
+	if !ok || r.Fields == nil {
+		return nil
 	}
-}
-
-func sweepView(st routing.SweepStats) map[string]any {
-	return map[string]any{
-		"scenarios":           st.Scenarios,
-		"workers":             st.Workers,
-		"smw_hits":            st.SMWHits,
-		"fallbacks":           st.Fallbacks,
-		"max_rank":            st.MaxRank,
-		"smw_hit_rate":        st.SMWHitRate(),
-		"base_factor_time_ms": st.BaseFactorTime.Milliseconds(),
-		"total_ms":            st.Total.Milliseconds(),
-	}
-}
-
-func mcfView(st mcf.SweepStats) map[string]any {
-	return map[string]any{
-		"scenarios":       st.Scenarios,
-		"workers":         st.Workers,
-		"warm_hits":       st.WarmHits,
-		"cold_solves":     st.ColdSolves,
-		"warm_hit_rate":   st.WarmHitRate(),
-		"lp_iterations":   st.LPIterations,
-		"compile_time_ms": st.CompileTime.Milliseconds(),
-		"total_ms":        st.Total.Milliseconds(),
-	}
+	return r.Fields
 }
 
 // handleVars serves the per-server metrics map in the standard

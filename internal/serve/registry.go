@@ -10,6 +10,7 @@ import (
 
 	"pcf/internal/core"
 	"pcf/internal/routing"
+	"pcf/internal/telemetry"
 )
 
 // Published is one immutable epoch of the registry: a validated plan
@@ -52,6 +53,13 @@ type Registry struct {
 	// to replicas. It is called synchronously under the publication
 	// lock — keep it fast and never call back into the registry.
 	OnPublish func(*Published)
+
+	// Telemetry receives one publish record per swap (and one validate
+	// record per publication-time sweep). Records are emitted after
+	// cur.Store, so an observer holding a publish record can rely on the
+	// registry epoch having already reached it. Set before serving
+	// begins; defaults to Discard.
+	Telemetry telemetry.Emitter
 }
 
 // NewRegistry builds a registry. store may be nil (no persistence).
@@ -59,7 +67,36 @@ func NewRegistry(store *Store, logf func(string, ...any)) *Registry {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Registry{store: store, logf: logf}
+	return &Registry{store: store, logf: logf, Telemetry: telemetry.Discard}
+}
+
+// emitPublish records one registry event (publish/recover/invalid) in
+// the telemetry stream, preceded by the validate record for the
+// publication-time sweep when one ran. name distinguishes how the
+// epoch arrived.
+func (r *Registry) emitPublish(name, outcome string, epoch uint64, plan *core.Plan, stats *routing.SweepStats) {
+	if stats != nil {
+		r.Telemetry.Emit(telemetry.Record{
+			Kind:   telemetry.KindValidate,
+			Name:   name,
+			Epoch:  epoch,
+			Scheme: plan.Scheme,
+			Dur:    stats.Total,
+			Fields: stats.Metrics(),
+		})
+	}
+	rec := telemetry.Record{
+		Kind:    telemetry.KindPublish,
+		Name:    name,
+		Outcome: outcome,
+		Epoch:   epoch,
+		Scheme:  plan.Scheme,
+	}
+	if stats != nil {
+		rec.Fields = stats.Metrics()
+		rec.Fields["value"] = plan.Value
+	}
+	r.Telemetry.Emit(rec)
 }
 
 // Store exposes the checkpoint store (nil when persistence is off).
@@ -115,6 +152,9 @@ func (r *Registry) PublishExternal(ctx context.Context, epoch uint64, plan *core
 func (r *Registry) publishLocked(ctx context.Context, epoch uint64, plan *core.Plan) (*Published, error) {
 	stats, err := routing.ValidateStats(ctx, plan, routing.ValidateOptions{})
 	if err != nil {
+		// The rejected epoch number is never swapped in; the record
+		// documents the refusal without ever outrunning the registry.
+		r.emitPublish("publish", "invalid", r.epoch, plan, nil)
 		return nil, fmt.Errorf("%w: %v", ErrValidation, err)
 	}
 	sweep, err := routing.NewSweepContext(ctx, plan)
@@ -140,6 +180,7 @@ func (r *Registry) publishLocked(ctx context.Context, epoch uint64, plan *core.P
 	}
 	r.epoch = epoch
 	r.cur.Store(pub)
+	r.emitPublish("publish", "", epoch, plan, stats)
 	r.logf("serve: published epoch %d (scheme %s, value %g)", epoch, pub.Scheme, pub.Value)
 	if r.OnPublish != nil {
 		r.OnPublish(pub)
@@ -199,6 +240,7 @@ func (r *Registry) Recover(ctx context.Context, in *core.Instance) (*Published, 
 			r.epoch = epoch
 		}
 		r.cur.Store(pub)
+		r.emitPublish("recover", "", epoch, plan, stats)
 		r.logf("serve: recovered epoch %d (scheme %s, value %g)", epoch, pub.Scheme, pub.Value)
 		if r.OnPublish != nil {
 			r.OnPublish(pub)

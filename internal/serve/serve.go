@@ -28,6 +28,7 @@ import (
 
 	"pcf/internal/core"
 	"pcf/internal/lp"
+	"pcf/internal/telemetry"
 )
 
 // Typed serving failures. Handlers map them to HTTP statuses; tests
@@ -66,6 +67,20 @@ type Config struct {
 	// StateDir is the checkpoint directory. Empty disables
 	// persistence: the daemon still serves, but restarts re-solve.
 	StateDir string
+	// TelemetryDir is the telemetry store directory. Empty runs the
+	// store memory-only: every server keeps a queryable record stream,
+	// persistence is opt-in.
+	TelemetryDir string
+	// RetainTelemetry bounds sealed telemetry segments kept on disk
+	// (zero means the store default; negative disables retention).
+	RetainTelemetry int
+	// Telemetry, when non-nil, receives a copy of every record the
+	// server emits, in addition to the store and the expvar snapshot.
+	// Tests use it to observe the stream synchronously.
+	Telemetry telemetry.Emitter
+	// Source stamps every emitted record's src dimension (default
+	// "pcfd"; fleet nodes set their node name).
+	Source string
 	// RetainCheckpoints bounds snapshot accumulation in StateDir: after
 	// each checkpoint only the newest RetainCheckpoints snapshots and
 	// the newest RetainCheckpoints quarantined (*.corrupt) files are
@@ -140,6 +155,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 30 * time.Second
+	}
+	if c.Source == "" {
+		c.Source = "pcfd"
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}

@@ -18,6 +18,7 @@ import (
 	"pcf/internal/lp"
 	"pcf/internal/mcf"
 	"pcf/internal/routing"
+	"pcf/internal/telemetry"
 	"pcf/internal/topology"
 )
 
@@ -62,15 +63,12 @@ type Server struct {
 	mux  *http.ServeMux
 	vars *expvar.Map
 
-	statsMu       sync.Mutex
-	lastSolve     core.SolveStats
-	lastValidate  routing.SweepStats
-	lastMCF       mcf.SweepStats
-	haveSolve     bool
-	haveMCF       bool
-	requests      expvar.Map
-	deniedReqs    expvar.Int
-	solveFailures expvar.Int
+	// tel is the telemetry store (memory-only without a TelemetryDir),
+	// snap the expvar projection over the same stream, emit the fan-out
+	// every producer writes to. One record schema, three views.
+	tel  *telemetry.Store
+	snap *telemetry.Snapshot
+	emit telemetry.Emitter
 
 	checksMu sync.RWMutex
 	checks   map[string]func() HealthCheck
@@ -98,19 +96,54 @@ func NewServer(cfg Config) (*Server, error) {
 			store.SetRetention(cfg.RetainCheckpoints)
 		}
 	}
+	tel, err := telemetry.Open(cfg.TelemetryDir, telemetry.StoreConfig{
+		RetainSegments: cfg.RetainTelemetry,
+		Logf:           cfg.Logf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening telemetry store: %w", err)
+	}
 	s := &Server{
 		cfg:      cfg,
 		inst:     cfg.Instance,
 		reg:      NewRegistry(store, cfg.Logf),
 		adm:      NewAdmission(cfg.MaxConcurrentSolves, cfg.MaxConcurrentRealizes, cfg.QueueDepth),
 		breakers: map[string]*Breaker{},
+		tel:      tel,
+		snap:     telemetry.NewSnapshot(),
 	}
+	s.emit = telemetry.Multi(tel, s.snap, cfg.Telemetry)
+	s.reg.Telemetry = telemetry.EmitterFunc(func(r telemetry.Record) {
+		r.Source = cfg.Source
+		s.emit.Emit(r)
+	})
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
-	s.requests.Init()
 	s.initVars()
 	s.initMux()
 	return s, nil
 }
+
+// Telemetry exposes the server's record store: the query/tail HTTP
+// surface reads it, and embedders (fleet nodes, tests) may emit their
+// own records into the same stream via Emitter.
+func (s *Server) Telemetry() *telemetry.Store { return s.tel }
+
+// Emitter is the server's record sink: the store, the expvar snapshot,
+// and any configured extra sink, behind one fan-out. Records emitted
+// here get the server's source stamp if they carry none.
+func (s *Server) Emitter() telemetry.Emitter {
+	return telemetry.EmitterFunc(func(r telemetry.Record) {
+		if r.Source == "" {
+			r.Source = s.cfg.Source
+		}
+		s.emit.Emit(r)
+	})
+}
+
+// Close releases the server's telemetry store, sealing the active
+// segment. Call after Shutdown; requests racing Close lose only their
+// telemetry records, never their responses.
+func (s *Server) Close() error { return s.tel.Close() }
 
 // breaker returns (creating on first use) the scheme's breaker. The
 // ladder scheme may skip down to the last rung; a fixed scheme is
@@ -234,16 +267,80 @@ func (s *Server) initMux() {
 	s.mux.HandleFunc("POST /v1/realize", s.handleRealize)
 	s.mux.HandleFunc("GET /v1/validate", s.handleValidate)
 	s.mux.HandleFunc("POST /v1/optimal", s.handleOptimal)
+	s.mux.HandleFunc("GET /v1/telemetry/query", s.handleTelemetryQuery)
+	s.mux.HandleFunc("GET /v1/telemetry/tail", s.handleTelemetryTail)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
 }
 
-func (s *Server) count(endpoint string) {
-	s.requests.Add(endpoint, 1)
+// track accumulates one request's telemetry record while its handler
+// runs and emits it when the handler returns. The record's Epoch is
+// only ever set from the *Published the handler actually used, so a
+// request record can never name an epoch newer than the plan that
+// served it.
+type track struct {
+	s     *Server
+	start time.Time
+	rec   telemetry.Record
+}
+
+func (s *Server) track(endpoint string) *track {
+	return &track{
+		s:     s,
+		start: time.Now(),
+		rec: telemetry.Record{
+			Kind:   telemetry.KindRequest,
+			Source: s.cfg.Source,
+			Name:   endpoint,
+		},
+	}
+}
+
+// served stamps the record with the plan that is answering the request.
+func (t *track) served(pub *Published) {
+	t.rec.Epoch = pub.Epoch
+	t.rec.Scheme = pub.Scheme
+}
+
+func (t *track) field(name string, v float64) {
+	if t.rec.Fields == nil {
+		t.rec.Fields = map[string]float64{}
+	}
+	t.rec.Fields[name] = v
+}
+
+// done emits the record. ctx, when non-nil, contributes the remaining
+// deadline slack so queries can watch how close requests run to their
+// budgets.
+func (t *track) done(ctx context.Context) {
+	t.rec.Dur = time.Since(t.start)
+	if ctx != nil {
+		if dl, ok := ctx.Deadline(); ok {
+			t.field("deadline_slack_ms", float64(time.Until(dl))/float64(time.Millisecond))
+		}
+	}
+	t.s.emit.Emit(t.rec)
+}
+
+// outcomeOf classifies a handler failure for the record stream: load
+// deliberately refused is "shed", everything else "error".
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrOverloaded),
+		errors.Is(err, ErrDraining),
+		errors.Is(err, ErrBreakerOpen):
+		return "shed"
+	default:
+		return "error"
+	}
 }
 
 // writeError maps typed serving and solver failures onto HTTP
-// statuses. Overload-shaped failures carry a Retry-After hint.
-func (s *Server) writeError(w http.ResponseWriter, class Class, err error) {
+// statuses and stamps the request record's outcome. Overload-shaped
+// failures carry a Retry-After hint.
+func (s *Server) writeError(tr *track, w http.ResponseWriter, class Class, err error) {
+	tr.rec.Outcome = outcomeOf(err)
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrOverloaded):
@@ -266,7 +363,6 @@ func (s *Server) writeError(w http.ResponseWriter, class Class, err error) {
 	case errors.Is(err, context.Canceled):
 		status = http.StatusServiceUnavailable
 	}
-	s.deniedReqs.Add(1)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	writeJSON(w, map[string]any{"error": err.Error()})
@@ -303,6 +399,9 @@ type Health struct {
 	// CheckpointWritable reports whether the state dir still accepts
 	// writes; absent when persistence is off.
 	CheckpointWritable *bool `json:"checkpoint_dir_writable,omitempty"`
+	// TelemetryWritable reports whether the telemetry store dir still
+	// accepts writes; absent when the store is memory-only.
+	TelemetryWritable *bool `json:"telemetry_dir_writable,omitempty"`
 	// Checks carries registered component probes (e.g. the fleet
 	// replica's lease freshness).
 	Checks map[string]HealthCheck `json:"checks,omitempty"`
@@ -325,8 +424,8 @@ func (s *Server) AddHealthCheck(name string, fn func() HealthCheck) {
 }
 
 // Health evaluates the readiness report. Degradation conditions:
-// draining, no published plan, an unwritable checkpoint dir, or any
-// registered check reporting !OK. Breaker levels are reported but do
+// draining, no published plan, an unwritable checkpoint or telemetry
+// dir, or any registered check reporting !OK. Breaker levels are reported but do
 // not degrade — a node with a stepped-down solve ladder still serves
 // realize traffic at full fidelity.
 func (s *Server) Health() Health {
@@ -353,6 +452,13 @@ func (s *Server) Health() Health {
 		h.CheckpointWritable = &writable
 		if !writable {
 			h.DegradedReasons = append(h.DegradedReasons, "checkpoint dir not writable")
+		}
+	}
+	if s.tel.Persistent() {
+		writable := s.tel.Writable() == nil
+		h.TelemetryWritable = &writable
+		if !writable {
+			h.DegradedReasons = append(h.DegradedReasons, "telemetry store not writable")
 		}
 	}
 
@@ -385,8 +491,13 @@ func (s *Server) Health() Health {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.count("healthz")
+	tr := s.track("healthz")
+	defer tr.done(nil)
 	h := s.Health()
+	tr.rec.Epoch = h.Epoch
+	if h.Status != "ok" {
+		tr.rec.Outcome = "degraded"
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-PCF-Epoch", strconv.FormatUint(h.Epoch, 10))
 	if h.Status != "ok" {
@@ -417,18 +528,20 @@ func infoOf(p *Published) planInfo {
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
-	s.count("plan")
+	tr := s.track("plan")
+	defer tr.done(nil)
 	done, err := s.enter()
 	if err != nil {
-		s.writeError(w, ClassRealize, err)
+		s.writeError(tr, w, ClassRealize, err)
 		return
 	}
 	defer done()
 	pub, err := s.reg.Current()
 	if err != nil {
-		s.writeError(w, ClassRealize, err)
+		s.writeError(tr, w, ClassRealize, err)
 		return
 	}
+	tr.served(pub)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-PCF-Epoch", strconv.FormatUint(pub.Epoch, 10))
 	if r.URL.Query().Get("full") == "1" {
@@ -441,22 +554,26 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	s.count("solve")
+	tr := s.track("solve")
 	done, err := s.enter()
 	if err != nil {
-		s.writeError(w, ClassSolve, err)
+		s.writeError(tr, w, ClassSolve, err)
+		tr.done(nil)
 		return
 	}
 	defer done()
 	ctx, cancel := s.requestContext(r, s.cfg.DefaultSolveTimeout)
 	defer cancel()
+	defer tr.done(ctx)
 
 	scheme := r.URL.Query().Get("scheme")
 	if scheme == "" {
 		scheme = SchemeBest
 	}
+	tr.rec.Scheme = scheme
 	fixed, isFixed := fixedSchemes[scheme]
 	if !isFixed && scheme != SchemeBest {
+		tr.rec.Outcome = "error"
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusBadRequest)
 		writeJSON(w, map[string]any{"error": fmt.Sprintf("serve: unknown scheme %q", scheme)})
@@ -465,20 +582,22 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	release, err := s.adm.Acquire(ctx, ClassSolve)
 	if err != nil {
-		s.writeError(w, ClassSolve, err)
+		s.writeError(tr, w, ClassSolve, err)
 		return
 	}
 	defer release()
 
 	br := s.breaker(scheme)
 	level := br.Level()
+	tr.rec.Rung = level
 	opts := core.SolveOptions{Context: ctx}
 	opts.LP.FaultHook = s.cfg.LPFaultHook
 
+	solveStart := time.Now()
 	var plan *core.Plan
 	if isFixed {
 		if level > 0 {
-			s.writeError(w, ClassSolve, fmt.Errorf("%w: %s", ErrBreakerOpen, scheme))
+			s.writeError(tr, w, ClassSolve, fmt.Errorf("%w: %s", ErrBreakerOpen, scheme))
 			return
 		}
 		plan, err = fixed(s.inst, opts)
@@ -486,28 +605,40 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		plan, err = core.SolveBestFrom(s.inst, opts, level)
 	}
 	br.Record(err)
+	if after := br.Level(); after != level {
+		s.emit.Emit(telemetry.Record{
+			Kind:   telemetry.KindBreaker,
+			Source: s.cfg.Source,
+			Scheme: scheme,
+			Rung:   after,
+			Fields: map[string]float64{"level": float64(after), "trips": float64(br.Trips())},
+		})
+	}
+	solveRec := telemetry.Record{
+		Kind:   telemetry.KindSolve,
+		Source: s.cfg.Source,
+		Scheme: scheme,
+		Rung:   level,
+		Dur:    time.Since(solveStart),
+	}
 	if err != nil {
-		s.solveFailures.Add(1)
-		s.writeError(w, ClassSolve, err)
+		solveRec.Outcome = outcomeOf(err)
+		s.emit.Emit(solveRec)
+		s.writeError(tr, w, ClassSolve, err)
 		return
 	}
+	solveRec.Fields = plan.Stats.Metrics()
+	s.emit.Emit(solveRec)
 	if s.cfg.MutatePlan != nil {
 		s.cfg.MutatePlan(plan)
 	}
 
-	s.statsMu.Lock()
-	s.lastSolve = plan.Stats
-	s.haveSolve = true
-	s.statsMu.Unlock()
-
 	pub, err := s.reg.Publish(ctx, plan)
 	if err != nil {
-		s.writeError(w, ClassSolve, err)
+		s.writeError(tr, w, ClassSolve, err)
 		return
 	}
-	s.statsMu.Lock()
-	s.lastValidate = pub.Validated
-	s.statsMu.Unlock()
+	tr.served(pub)
 
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-PCF-Epoch", strconv.FormatUint(pub.Epoch, 10))
@@ -540,23 +671,27 @@ func (s *Server) parseScenario(r *http.Request) (failures.Scenario, error) {
 }
 
 func (s *Server) handleRealize(w http.ResponseWriter, r *http.Request) {
-	s.count("realize")
+	tr := s.track("realize")
 	done, err := s.enter()
 	if err != nil {
-		s.writeError(w, ClassRealize, err)
+		s.writeError(tr, w, ClassRealize, err)
+		tr.done(nil)
 		return
 	}
 	defer done()
 	ctx, cancel := s.requestContext(r, s.cfg.DefaultRealizeTimeout)
 	defer cancel()
+	defer tr.done(ctx)
 
 	pub, err := s.reg.Current()
 	if err != nil {
-		s.writeError(w, ClassRealize, err)
+		s.writeError(tr, w, ClassRealize, err)
 		return
 	}
+	tr.served(pub)
 	sc, err := s.parseScenario(r)
 	if err != nil {
+		tr.rec.Outcome = "error"
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusBadRequest)
 		writeJSON(w, map[string]any{"error": err.Error()})
@@ -564,18 +699,18 @@ func (s *Server) handleRealize(w http.ResponseWriter, r *http.Request) {
 	}
 	release, err := s.adm.Acquire(ctx, ClassRealize)
 	if err != nil {
-		s.writeError(w, ClassRealize, err)
+		s.writeError(tr, w, ClassRealize, err)
 		return
 	}
 	defer release()
 	if err := ctx.Err(); err != nil {
-		s.writeError(w, ClassRealize, err)
+		s.writeError(tr, w, ClassRealize, err)
 		return
 	}
 
 	real, err := pub.Sweep.Realize(sc)
 	if err != nil {
-		s.writeError(w, ClassRealize, err)
+		s.writeError(tr, w, ClassRealize, err)
 		return
 	}
 	maxU := 0.0
@@ -599,6 +734,9 @@ func (s *Server) handleRealize(w http.ResponseWriter, r *http.Request) {
 			deadLinks = append(deadLinks, int(l))
 		}
 	}
+	tr.field("mlu", mlu)
+	tr.field("max_u", maxU)
+	tr.field("dead_links", float64(len(deadLinks)))
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-PCF-Epoch", strconv.FormatUint(pub.Epoch, 10))
 	writeJSON(w, map[string]any{
@@ -612,36 +750,46 @@ func (s *Server) handleRealize(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
-	s.count("validate")
+	tr := s.track("validate")
 	done, err := s.enter()
 	if err != nil {
-		s.writeError(w, ClassRealize, err)
+		s.writeError(tr, w, ClassRealize, err)
+		tr.done(nil)
 		return
 	}
 	defer done()
 	ctx, cancel := s.requestContext(r, s.cfg.DefaultSolveTimeout)
 	defer cancel()
+	defer tr.done(ctx)
 
 	pub, err := s.reg.Current()
 	if err != nil {
-		s.writeError(w, ClassRealize, err)
+		s.writeError(tr, w, ClassRealize, err)
 		return
 	}
+	tr.served(pub)
 	release, err := s.adm.Acquire(ctx, ClassRealize)
 	if err != nil {
-		s.writeError(w, ClassRealize, err)
+		s.writeError(tr, w, ClassRealize, err)
 		return
 	}
 	defer release()
 
 	stats, err := routing.ValidateStats(ctx, pub.Plan, routing.ValidateOptions{})
-	if stats != nil {
-		s.statsMu.Lock()
-		s.lastValidate = *stats
-		s.statsMu.Unlock()
+	valRec := telemetry.Record{
+		Kind:    telemetry.KindValidate,
+		Source:  s.cfg.Source,
+		Scheme:  pub.Scheme,
+		Epoch:   pub.Epoch,
+		Outcome: outcomeOf(err),
 	}
+	if stats != nil {
+		valRec.Fields = stats.Metrics()
+		valRec.Dur = stats.Total
+	}
+	s.emit.Emit(valRec)
 	if err != nil {
-		s.writeError(w, ClassRealize, err)
+		s.writeError(tr, w, ClassRealize, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -656,32 +804,38 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleOptimal(w http.ResponseWriter, r *http.Request) {
-	s.count("optimal")
+	tr := s.track("optimal")
 	done, err := s.enter()
 	if err != nil {
-		s.writeError(w, ClassSolve, err)
+		s.writeError(tr, w, ClassSolve, err)
+		tr.done(nil)
 		return
 	}
 	defer done()
 	ctx, cancel := s.requestContext(r, s.cfg.DefaultSolveTimeout)
 	defer cancel()
+	defer tr.done(ctx)
 
 	release, err := s.adm.Acquire(ctx, ClassSolve)
 	if err != nil {
-		s.writeError(w, ClassSolve, err)
+		s.writeError(tr, w, ClassSolve, err)
 		return
 	}
 	defer release()
 
 	z, worst, stats, err := mcf.OptimalUnderFailuresStats(ctx, s.inst.Graph, s.inst.TM, s.inst.Failures)
-	if stats != nil {
-		s.statsMu.Lock()
-		s.lastMCF = *stats
-		s.haveMCF = true
-		s.statsMu.Unlock()
+	mcfRec := telemetry.Record{
+		Kind:    telemetry.KindMCF,
+		Source:  s.cfg.Source,
+		Outcome: outcomeOf(err),
 	}
+	if stats != nil {
+		mcfRec.Fields = stats.Metrics()
+		mcfRec.Dur = stats.Total
+	}
+	s.emit.Emit(mcfRec)
 	if err != nil {
-		s.writeError(w, ClassSolve, err)
+		s.writeError(tr, w, ClassSolve, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -30,7 +30,10 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 		t.Fatalf("NewServer: %v", err)
 	}
 	ts := httptest.NewServer(s)
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
 	return s, ts
 }
 
@@ -317,9 +320,14 @@ func TestServerBreakerUsesFaultinjectLadder(t *testing.T) {
 // class keeps serving.
 func TestServerSheddingUnderLoad(t *testing.T) {
 	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
 	var once sync.Once
 	hook := func(ev lp.FaultEvent) error {
 		if ev.Point == lp.FaultSolveStart {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
 			<-gate // block the solve until the test releases it
 		}
 		return nil
@@ -342,17 +350,10 @@ func TestServerSheddingUnderLoad(t *testing.T) {
 	}()
 	// Wait until it is actually inside the solver.
 	deadline := time.Now().Add(5 * time.Second)
-	for {
-		resp := mustGet(t, ts.URL+"/debug/vars")
-		vars := decodeBody(t, resp)
-		reqs, _ := vars["requests"].(map[string]any)
-		if reqs != nil && reqs["solve"] != nil && reqs["solve"].(float64) >= 1 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("first solve never started")
-		}
-		time.Sleep(5 * time.Millisecond)
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("first solve never started")
 	}
 	// Second solve sits in the queue.
 	go func() {

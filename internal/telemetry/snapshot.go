@@ -1,0 +1,105 @@
+package telemetry
+
+import "sync"
+
+// Snapshot is an Emitter that maintains point-in-time views over the
+// record stream: per-kind/outcome counters, per-name request counts,
+// and the latest (and latest-successful) record of each kind. The
+// serving layer's /debug/vars reads these, so the expvar surface is a
+// projection of the same records the store persists — one schema, two
+// views.
+type Snapshot struct {
+	mu       sync.Mutex
+	counts   map[Kind]map[string]int64 // kind → outcome → count
+	byName   map[Kind]map[string]int64 // kind → name → count
+	last     map[Kind]Record
+	lastOK   map[Kind]Record
+	appended int64
+}
+
+// NewSnapshot builds an empty snapshot tracker.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{
+		counts: map[Kind]map[string]int64{},
+		byName: map[Kind]map[string]int64{},
+		last:   map[Kind]Record{},
+		lastOK: map[Kind]Record{},
+	}
+}
+
+// Emit implements Emitter.
+func (s *Snapshot) Emit(r Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.appended++
+	oc := s.counts[r.Kind]
+	if oc == nil {
+		oc = map[string]int64{}
+		s.counts[r.Kind] = oc
+	}
+	outcome := r.OutcomeOrOK()
+	oc[outcome]++
+	if r.Name != "" {
+		nc := s.byName[r.Kind]
+		if nc == nil {
+			nc = map[string]int64{}
+			s.byName[r.Kind] = nc
+		}
+		nc[r.Name]++
+	}
+	s.last[r.Kind] = r
+	if outcome == "ok" {
+		s.lastOK[r.Kind] = r
+	}
+}
+
+// Count returns how many records of the kind ended with the outcome
+// ("" sums every outcome).
+func (s *Snapshot) Count(k Kind, outcome string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if outcome != "" {
+		return s.counts[k][outcome]
+	}
+	var total int64
+	for _, n := range s.counts[k] {
+		total += n
+	}
+	return total
+}
+
+// NameCounts returns a copy of the per-name counters for a kind.
+func (s *Snapshot) NameCounts(k Kind) map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.byName[k]))
+	for name, n := range s.byName[k] {
+		out[name] = n
+	}
+	return out
+}
+
+// Last returns the most recent record of a kind.
+func (s *Snapshot) Last(k Kind) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.last[k]
+	return r, ok
+}
+
+// LastOK returns the most recent successful record of a kind — the
+// one whose payload fields describe the last completed solve, sweep,
+// or publication.
+func (s *Snapshot) LastOK(k Kind) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.lastOK[k]
+	return r, ok
+}
+
+// Total returns how many records the snapshot has seen.
+func (s *Snapshot) Total() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appended
+}

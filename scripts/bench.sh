@@ -6,11 +6,17 @@
 #   pattern   go test -bench regexp (default: .)
 #   count     repetitions per benchmark (default: 3)
 # env:
-#   BENCH_OUT   output path (default: results/BENCH_<YYYY-MM-DD>.json)
-#   BENCHTIME   forwarded as -benchtime when set (e.g. 1x for a smoke run)
+#   BENCH_OUT        output path (default: results/BENCH_<YYYY-MM-DD>.json)
+#   BENCHTIME        forwarded as -benchtime when set (e.g. 1x for a smoke run)
+#   BENCH_STORE      telemetry store dir for ingestion (default: results/telemetry)
+#   BENCH_THRESHOLD  regression gate passed to pcfbench (default: 0.20)
 #
 # The JSON records, per benchmark (mean over count runs): ns/op,
-# B/op, allocs/op, and any custom b.ReportMetric units.
+# B/op, allocs/op, and any custom b.ReportMetric units. After writing
+# the summary, cmd/pcfbench ingests it into the telemetry store as
+# kind=bench records and fails the run when a benchmark regressed more
+# than the threshold against its previous stored record (a fresh store
+# never gates).
 set -eu
 
 cd "$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd -P)"
@@ -76,3 +82,6 @@ END {
 ' "$tmp" >"$out"
 
 echo "bench summary written to $out"
+
+store="${BENCH_STORE:-results/telemetry}"
+go run ./cmd/pcfbench -in "$out" -store "$store" -threshold "${BENCH_THRESHOLD:-0.20}"
