@@ -305,6 +305,89 @@ func BenchmarkValidateSweep(b *testing.B) {
 	})
 }
 
+// ---- Synthetic-topology scale benchmarks (DESIGN.md §17) ----
+
+// synthPlan prepares and solves PCF-TF on a 1000-node Waxman synthetic
+// topology. At this scale the reservation matrix crosses the sparse
+// thresholds everywhere: the simplex runs on the Markowitz LU + eta
+// chain and the sweep on the sparse base factorization. The dense
+// inverse path takes minutes per solve here (~120x slower; DESIGN.md
+// §17), so these benchmarks only exercise the sparse path.
+func synthPlan(b *testing.B, maxPairs int) *core.Plan {
+	b.Helper()
+	setup, err := eval.Prepare(eval.Options{
+		Synth: "waxman", SynthNodes: 1000, Seed: 1,
+		MaxPairs: maxPairs, FailureBudget: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := &core.Instance{
+		Graph: setup.Graph, TM: setup.TM, Tunnels: setup.Tunnels,
+		Failures: setup.Failures, Objective: core.DemandScale,
+	}
+	plan, err := core.SolvePCFTF(in, core.SolveOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !plan.Stats.SparseFactor {
+		b.Fatal("synth solve did not use the sparse factorization")
+	}
+	return plan
+}
+
+// BenchmarkSolveSynth1k measures a PCF-TF solve on the 1000-node
+// synthetic Waxman topology through the sparse basis factorization.
+func BenchmarkSolveSynth1k(b *testing.B) {
+	setup, err := eval.Prepare(eval.Options{
+		Synth: "waxman", SynthNodes: 1000, Seed: 1,
+		MaxPairs: 100, FailureBudget: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := &core.Instance{
+		Graph: setup.Graph, TM: setup.TM, Tunnels: setup.Tunnels,
+		Failures: setup.Failures, Objective: core.DemandScale,
+	}
+	b.ResetTimer()
+	var plan *core.Plan
+	for i := 0; i < b.N; i++ {
+		plan, err = core.SolvePCFTF(in, core.SolveOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !plan.Stats.SparseFactor {
+		b.Fatal("synth solve did not use the sparse factorization")
+	}
+	b.ReportMetric(float64(plan.Stats.Refactors), "refactors")
+	b.ReportMetric(plan.Stats.FillRatio(), "fill_ratio")
+}
+
+// BenchmarkValidateSweepSynth1k measures full scenario validation of a
+// 1000-node synthetic plan: 250 demand pairs keep the realization
+// universe above the sparse-sweep threshold, so the sweep factorizes
+// the base sparsely and serves the ~2000 single-failure scenarios as
+// batched SMW corrections.
+func BenchmarkValidateSweepSynth1k(b *testing.B) {
+	plan := synthPlan(b, 250)
+	b.ResetTimer()
+	var st *routing.SweepStats
+	for i := 0; i < b.N; i++ {
+		var err error
+		st, err = routing.ValidateStats(nil, plan, routing.ValidateOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !st.SparseBase {
+		b.Fatal("sweep did not use the sparse base factorization")
+	}
+	b.ReportMetric(100*st.SMWHitRate(), "smw_hit_pct")
+	b.ReportMetric(float64(st.BatchHits), "batch_hits")
+}
+
 // ---- Ablation benchmarks (DESIGN.md §6) ----
 
 func benchInstance(b *testing.B) *core.Instance {

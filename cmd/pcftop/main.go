@@ -163,6 +163,15 @@ func (m *model) render(addr string, now time.Time) string {
 		if v := r.Field("lp_iterations"); v > 0 {
 			fmt.Fprintf(&b, ", %.0f lp iters", v)
 		}
+		if r.Field("sparse_factor") > 0 {
+			fmt.Fprintf(&b, ", sparse basis %.0f nnz fill %.2f", r.Field("basis_nnz"), r.Field("fill_ratio"))
+			if v := r.Field("refactors"); v > 0 {
+				fmt.Fprintf(&b, " refactors %.0f", v)
+			}
+			if v := r.Field("eta_len_max"); v > 0 {
+				fmt.Fprintf(&b, " eta<=%.0f", v)
+			}
+		}
 		b.WriteString("\n")
 	}
 	if r := m.lastPublish; r != nil {

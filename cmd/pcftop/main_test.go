@@ -18,7 +18,8 @@ func at(sec int) time.Time {
 func TestModelRender(t *testing.T) {
 	m := newModel(30 * time.Second)
 	m.observe(telemetry.Record{Time: at(1), Kind: telemetry.KindSolve, Scheme: "PCF-CLS",
-		Dur: 1200 * time.Millisecond, Fields: map[string]float64{"lp_iterations": 42}})
+		Dur: 1200 * time.Millisecond, Fields: map[string]float64{"lp_iterations": 42,
+			"sparse_factor": 1, "basis_nnz": 7580, "fill_ratio": 1.118, "refactors": 66, "eta_len_max": 316}})
 	m.observe(telemetry.Record{Time: at(2), Kind: telemetry.KindPublish, Scheme: "PCF-CLS",
 		Epoch: 7, Fields: map[string]float64{"value": 0.7227}})
 	for i := 0; i < 8; i++ {
@@ -37,7 +38,7 @@ func TestModelRender(t *testing.T) {
 		"shed 1 (11%)",
 		"by endpoint: realize 8 solve 1",
 		"mlu 0.670",
-		"last solve: ok in 1.2s, 42 lp iters",
+		"last solve: ok in 1.2s, 42 lp iters, sparse basis 7580 nnz fill 1.12 refactors 66 eta<=316",
 		"last publish: epoch 7, value 0.7227",
 	} {
 		if !strings.Contains(frame, want) {

@@ -7,6 +7,12 @@
 //
 // writes /tmp/geant.links (one "nodeA nodeB capacity" line per link)
 // and /tmp/geant.tm (one "src dst demand" line per nonzero demand).
+// Synthetic scaling topologies use the same contract:
+//
+//	topogen -synth waxman -nodes 1000 -seed 1 -out /tmp/wax1k
+//
+// Output is deterministic: the same flags always produce byte-identical
+// files.
 package main
 
 import (
@@ -20,52 +26,79 @@ import (
 	"pcf/internal/topozoo"
 )
 
+type config struct {
+	topology string
+	synth    string
+	nodes    int
+	seed     int64
+	pairs    int
+	out      string
+}
+
 func main() {
-	topo := flag.String("topology", "", "Topology Zoo name (empty = list all)")
-	seed := flag.Int64("seed", 1, "traffic matrix seed")
-	pairs := flag.Int("pairs", 0, "top-K demand pairs (0 = all)")
-	out := flag.String("out", "", "output path prefix (default: topology name)")
+	var c config
+	flag.StringVar(&c.topology, "topology", "", "Topology Zoo name (empty = list all)")
+	flag.StringVar(&c.synth, "synth", "", fmt.Sprintf("synthetic topology kind %v (overrides -topology)", topozoo.SynthKinds))
+	flag.IntVar(&c.nodes, "nodes", 1000, "synthetic topology size (with -synth)")
+	flag.Int64Var(&c.seed, "seed", 1, "topology and traffic matrix seed")
+	flag.IntVar(&c.pairs, "pairs", 0, "top-K demand pairs (0 = all)")
+	flag.StringVar(&c.out, "out", "", "output path prefix (default: topology name)")
 	flag.Parse()
 
-	if *topo == "" {
+	if c.topology == "" && c.synth == "" {
 		fmt.Println("available topologies (paper Table 3):")
 		for _, e := range topozoo.Table3 {
 			fmt.Printf("  %-16s %3d nodes %3d edges\n", e.Name, e.Nodes, e.Edges)
 		}
+		fmt.Printf("synthetic kinds (-synth): %v\n", topozoo.SynthKinds)
 		return
 	}
-	setup, err := eval.Prepare(eval.Options{Topology: *topo, Seed: *seed, MaxPairs: *pairs})
-	if err != nil {
+	if err := run(c); err != nil {
 		log.Fatal(err)
 	}
-	prefix := *out
-	if prefix == "" {
-		prefix = *topo
+}
+
+// run prepares the instance and writes prefix.links and prefix.tm.
+func run(c config) error {
+	setup, err := eval.Prepare(eval.Options{
+		Topology: c.topology, Synth: c.synth, SynthNodes: c.nodes,
+		Seed: c.seed, MaxPairs: c.pairs,
+	})
+	if err != nil {
+		return err
 	}
-	writeFile(prefix+".links", func(w *bufio.Writer) {
-		fmt.Fprintf(w, "# %s: %d nodes, %d links\n", *topo, setup.Graph.NumNodes(), setup.Graph.NumLinks())
+	prefix := c.out
+	if prefix == "" {
+		prefix = setup.Graph.Name
+	}
+	name := setup.Graph.Name
+	if err := writeFile(prefix+".links", func(w *bufio.Writer) {
+		fmt.Fprintf(w, "# %s: %d nodes, %d links\n", name, setup.Graph.NumNodes(), setup.Graph.NumLinks())
 		for _, l := range setup.Graph.Links() {
 			fmt.Fprintf(w, "%d %d %g\n", l.A, l.B, l.Capacity)
 		}
-	})
-	writeFile(prefix+".tm", func(w *bufio.Writer) {
-		fmt.Fprintf(w, "# gravity TM seed %d, optimal no-failure MLU %.4f\n", *seed, setup.MLU)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(prefix+".tm", func(w *bufio.Writer) {
+		fmt.Fprintf(w, "# gravity TM seed %d, optimal no-failure MLU %.4f\n", c.seed, setup.MLU)
 		for _, p := range setup.Pairs {
 			fmt.Fprintf(w, "%d %d %g\n", p.Src, p.Dst, setup.TM.At(p))
 		}
-	})
+	}); err != nil {
+		return err
+	}
 	fmt.Printf("wrote %s.links and %s.tm (MLU %.4f)\n", prefix, prefix, setup.MLU)
+	return nil
 }
 
-func writeFile(path string, fill func(*bufio.Writer)) {
+func writeFile(path string, fill func(*bufio.Writer)) error {
 	f, err := os.Create(path)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer f.Close()
 	w := bufio.NewWriter(f)
 	fill(w)
-	if err := w.Flush(); err != nil {
-		log.Fatal(err)
-	}
+	return w.Flush()
 }

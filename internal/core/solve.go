@@ -210,10 +210,26 @@ func solveScheme(in *Instance, scheme string, withLS bool, build advBuilder, opt
 
 // statsOf summarizes a one-shot (non-cutting-plane) solve.
 func statsOf(sol *lp.Solution) SolveStats {
-	return SolveStats{
+	st := SolveStats{
 		Rounds:       1,
 		LPIterations: sol.Stats.Iterations(),
 		CompileTime:  sol.Stats.CompileTime,
+	}
+	absorbFactorStats(&st, sol)
+	return st
+}
+
+// absorbFactorStats folds one LP solution's basis-factorization
+// telemetry into the aggregate: refactorizations accumulate across
+// rounds, factor sizes track the latest (largest master) solve, and
+// the eta-chain length keeps its maximum.
+func absorbFactorStats(st *SolveStats, sol *lp.Solution) {
+	st.SparseFactor = sol.Stats.SparseFactor
+	st.Refactors += sol.Stats.Refactors
+	st.BasisNNZ = sol.Stats.BasisNNZ
+	st.FactorNNZ = sol.Stats.FactorNNZ
+	if sol.Stats.MaxEtaLen > st.MaxEtaLen {
+		st.MaxEtaLen = sol.Stats.MaxEtaLen
 	}
 }
 
@@ -280,6 +296,7 @@ func solveByCuts(base *lp.Model, specs []*advSpec, opts SolveOptions) (*lp.Solut
 			return nil, stats, err
 		}
 		stats.LPIterations += sol.Stats.Iterations()
+		absorbFactorStats(&stats, sol)
 		if sol.Stats.WarmHit {
 			stats.WarmHits++
 		}

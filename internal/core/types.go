@@ -276,6 +276,29 @@ type SolveStats struct {
 	LPIterations int
 	// CompileTime is the one-time cost of compiling the master model.
 	CompileTime time.Duration
+	// SparseFactor records whether the simplex served the solve with
+	// the sparse basis factorization (Markowitz LU + eta updates)
+	// rather than the dense inverse.
+	SparseFactor bool
+	// Refactors totals basis refactorizations across all rounds.
+	Refactors int
+	// BasisNNZ and FactorNNZ are the final basis matrix and LU factor
+	// nonzero counts (sparse backend only; zero on the dense path).
+	BasisNNZ  int
+	FactorNNZ int
+	// MaxEtaLen is the longest eta-update chain reached between
+	// refactorizations.
+	MaxEtaLen int
+}
+
+// FillRatio is FactorNNZ/BasisNNZ — the factorization fill-in growth
+// the adaptive refactorization trigger watches. Zero when the dense
+// backend served the solve.
+func (s SolveStats) FillRatio() float64 {
+	if s.BasisNNZ == 0 {
+		return 0
+	}
+	return float64(s.FactorNNZ) / float64(s.BasisNNZ)
 }
 
 // Metrics flattens the stats into the flat field schema shared by the
@@ -283,12 +306,21 @@ type SolveStats struct {
 // milliseconds). The keys are the one vocabulary for LP solve
 // statistics everywhere they surface.
 func (s SolveStats) Metrics() map[string]float64 {
+	sparse := 0.0
+	if s.SparseFactor {
+		sparse = 1
+	}
 	return map[string]float64{
 		"rounds":          float64(s.Rounds),
 		"cuts":            float64(s.Cuts),
 		"warm_hits":       float64(s.WarmHits),
 		"lp_iterations":   float64(s.LPIterations),
 		"compile_time_ms": float64(s.CompileTime) / float64(time.Millisecond),
+		"sparse_factor":   sparse,
+		"refactors":       float64(s.Refactors),
+		"basis_nnz":       float64(s.BasisNNZ),
+		"fill_ratio":      s.FillRatio(),
+		"eta_len_max":     float64(s.MaxEtaLen),
 	}
 }
 

@@ -26,8 +26,18 @@ import (
 
 // Options configure instance preparation.
 type Options struct {
-	// Topology is a Table 3 name (see topozoo.Names).
+	// Topology is a Table 3 name (see topozoo.Names). Ignored when
+	// Synth is set (the synthetic name is filled in for telemetry).
 	Topology string
+	// Synth, when non-empty, prepares a seeded synthetic topology
+	// instead of a Table 3 graph: "waxman" or "ring-of-rings" (see
+	// topozoo.Synth), sized by SynthNodes (default 1000). Synthetic
+	// setups scale demand with a cheap tunnel-routing bound instead of
+	// the exact MCF MLU scaling — at 1k+ nodes the exact scaling LP
+	// would dwarf everything it feeds.
+	Synth string
+	// SynthNodes is the synthetic topology size (0 = 1000).
+	SynthNodes int
 	// Seed selects the traffic matrix (the paper uses 12 per topology).
 	Seed int64
 	// MaxPairs caps the demand pairs to the top-K by gravity demand
@@ -107,9 +117,25 @@ func (s *Setup) emit(rec telemetry.Record) {
 // selects tunnels.
 func Prepare(o Options) (*Setup, error) {
 	o = o.withDefaults()
-	g, err := topozoo.Load(o.Topology)
-	if err != nil {
-		return nil, err
+	var g *topology.Graph
+	var err error
+	if o.Synth != "" {
+		nodes := o.SynthNodes
+		if nodes == 0 {
+			nodes = 1000
+		}
+		g, err = topozoo.Synth(o.Synth, nodes, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if o.Topology == "" {
+			o.Topology = g.Name
+		}
+	} else {
+		g, err = topozoo.Load(o.Topology)
+		if err != nil {
+			return nil, err
+		}
 	}
 	g, _ = g.PruneDegreeOne()
 	if o.SubLinkSplit > 1 {
@@ -121,11 +147,16 @@ func Prepare(o Options) (*Setup, error) {
 	tm := traffic.Gravity(g, traffic.GravityOptions{Seed: o.Seed, Jitter: 0.4})
 	pairs := tm.TopPairs(o.MaxPairs)
 	tm = tm.Restrict(pairs)
-	tm, mlu, err := mcf.ScaleToMLU(g, tm, o.MLULow, o.MLUHigh)
+	ts, err := tunnels.Select(g, pairs, tunnels.SelectOptions{PerPair: o.TunnelsPerPair})
 	if err != nil {
 		return nil, fmt.Errorf("eval: %s: %w", o.Topology, err)
 	}
-	ts, err := tunnels.Select(g, pairs, tunnels.SelectOptions{PerPair: o.TunnelsPerPair})
+	var mlu float64
+	if o.Synth != "" {
+		tm, mlu, err = scaleByTunnels(g, tm, pairs, ts, o.MLULow)
+	} else {
+		tm, mlu, err = mcf.ScaleToMLU(g, tm, o.MLULow, o.MLUHigh)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("eval: %s: %w", o.Topology, err)
 	}
@@ -138,6 +169,38 @@ func Prepare(o Options) (*Setup, error) {
 		Tunnels:  ts,
 		Failures: failures.SingleLinks(g, o.FailureBudget),
 	}, nil
+}
+
+// scaleByTunnels scales demand so that routing each pair evenly over
+// its selected tunnels yields MLU = target — the cheap deterministic
+// stand-in for mcf.ScaleToMLU on synthetic setups, where the exact
+// scaling MCF would cost more than the experiment it prepares.
+func scaleByTunnels(g *topology.Graph, tm *traffic.Matrix, pairs []topology.Pair, ts *tunnels.Set, target float64) (*traffic.Matrix, float64, error) {
+	load := make([]float64, g.NumArcs())
+	for _, p := range pairs {
+		ids := ts.ForPair(p)
+		if len(ids) == 0 {
+			continue
+		}
+		share := tm.At(p) / float64(len(ids))
+		for _, id := range ids {
+			for _, a := range ts.Tunnel(id).Path.Arcs {
+				load[a] += share
+			}
+		}
+	}
+	mlu := 0.0
+	for a, l := range load {
+		if c := g.ArcCapacity(topology.ArcID(a)); c > 0 {
+			if u := l / c; u > mlu {
+				mlu = u
+			}
+		}
+	}
+	if mlu <= 1e-12 {
+		return nil, 0, fmt.Errorf("eval: synthetic demand produces no tunnel load")
+	}
+	return tm.Scale(target / mlu), target, nil
 }
 
 // instance builds a core.Instance with k tunnels per pair.

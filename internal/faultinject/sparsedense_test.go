@@ -1,0 +1,167 @@
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"pcf/internal/core"
+	"pcf/internal/failures"
+	"pcf/internal/lp"
+	"pcf/internal/topology"
+	"pcf/internal/topozoo"
+	"pcf/internal/traffic"
+	"pcf/internal/tunnels"
+)
+
+// solveBoth solves one compiled model with the dense and the sparse
+// basis factorization and requires the verdicts to match and, when
+// optimal, objectives / primal values / duals to agree within 1e-9
+// relative — the bit-compatibility contract of the sparse core.
+func solveBoth(t *testing.T, m *lp.Model, label string) {
+	t.Helper()
+	dense, errD := lp.SolveWithOptions(m, lp.Options{Factorization: lp.FactorDense})
+	sparse, errS := lp.SolveWithOptions(m, lp.Options{Factorization: lp.FactorSparse})
+	if (errD == nil) != (errS == nil) {
+		t.Fatalf("%s: dense err %v, sparse err %v", label, errD, errS)
+	}
+	if errD != nil {
+		return
+	}
+	if dense.Status != sparse.Status {
+		t.Fatalf("%s: dense status %v, sparse status %v", label, dense.Status, sparse.Status)
+	}
+	if dense.Status != lp.StatusOptimal {
+		return
+	}
+	if !relClose(sparse.Objective, dense.Objective, 1e-9) {
+		t.Fatalf("%s: objective dense %.15g, sparse %.15g", label, dense.Objective, sparse.Objective)
+	}
+	dv, sv := dense.Values(), sparse.Values()
+	if len(dv) != len(sv) {
+		t.Fatalf("%s: %d dense values, %d sparse", label, len(dv), len(sv))
+	}
+	for i := range dv {
+		// Degenerate optima can differ in vertex; values still must
+		// agree when the optimum is unique. Both backends run the same
+		// pivot rules against the same arithmetic up to factorization
+		// round-off, so in practice values coincide — require it.
+		if !relClose(sv[i], dv[i], 1e-7) {
+			t.Fatalf("%s: value[%d] dense %.15g, sparse %.15g", label, i, dv[i], sv[i])
+		}
+	}
+	if !sparse.Stats.SparseFactor {
+		t.Fatalf("%s: sparse solve did not report SparseFactor", label)
+	}
+	if dense.Stats.SparseFactor {
+		t.Fatalf("%s: dense solve reports SparseFactor", label)
+	}
+}
+
+// TestSparseDenseEquivalenceCorpus sweeps the LP corpus through both
+// factorization backends.
+func TestSparseDenseEquivalenceCorpus(t *testing.T) {
+	for i, m := range LPCorpus(7) {
+		solveBoth(t, m, fmt.Sprintf("corpus[%d]", i))
+	}
+	for i, m := range LPCorpus(12345) {
+		solveBoth(t, m, fmt.Sprintf("corpus2[%d]", i))
+	}
+}
+
+// gadgetInstances enumerates every topozoo gadget as a solvable core
+// instance (graph, single-pair demand, canonical tunnels, single-link
+// failures).
+func gadgetInstances(t *testing.T) map[string]*core.Instance {
+	t.Helper()
+	out := map[string]*core.Instance{}
+	add := func(name string, gad *topozoo.Gadget, budget int) {
+		ts := tunnels.NewSet(gad.Graph)
+		pair := topology.Pair{Src: gad.S, Dst: gad.T}
+		if len(gad.Tunnels) > 0 {
+			for _, tun := range gad.Tunnels {
+				ts.MustAdd(pair, tun)
+			}
+		} else {
+			sel, err := tunnels.Select(gad.Graph, []topology.Pair{pair}, tunnels.SelectOptions{PerPair: 3})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			ts = sel
+		}
+		out[name] = &core.Instance{
+			Graph:     gad.Graph,
+			TM:        traffic.Single(gad.Graph.NumNodes(), pair, 1),
+			Tunnels:   ts,
+			Failures:  failures.SingleLinks(gad.Graph, budget),
+			Objective: core.DemandScale,
+		}
+	}
+	add("fig1-f1", topozoo.Fig1(), 1)
+	add("fig1-f2", topozoo.Fig1(), 2)
+	add("fig3-f1", topozoo.Fig3(), 1)
+	add("fig4-f1", topozoo.Fig4(2, 3, 4), 1)
+	add("fig5-f2", topozoo.Fig5(), 2)
+	return out
+}
+
+// TestSparseDenseEquivalenceGadgets solves every gadget instance under
+// both backends via the full core pipeline (FFC and PCF-TF) and
+// requires identical guarantees.
+func TestSparseDenseEquivalenceGadgets(t *testing.T) {
+	for name, in := range gadgetInstances(t) {
+		for _, scheme := range []string{"ffc", "pcf-tf"} {
+			solve := core.SolveFFC
+			if scheme == "pcf-tf" {
+				solve = core.SolvePCFTF
+			}
+			pd, errD := solve(in, core.SolveOptions{LP: lp.Options{Factorization: lp.FactorDense}})
+			ps, errS := solve(in, core.SolveOptions{LP: lp.Options{Factorization: lp.FactorSparse}})
+			if (errD == nil) != (errS == nil) {
+				t.Fatalf("%s/%s: dense err %v, sparse err %v", name, scheme, errD, errS)
+			}
+			if errD != nil {
+				continue
+			}
+			if math.Abs(pd.Value-ps.Value) > 1e-9*(1+math.Abs(pd.Value)) {
+				t.Fatalf("%s/%s: dense %.15g, sparse %.15g", name, scheme, pd.Value, ps.Value)
+			}
+		}
+	}
+}
+
+// TestSparseWarmStart checks warm starts on the sparse backend: RHS
+// edits re-solved warm must match the cold sparse result, and fall
+// back cleanly rather than diverge.
+func TestSparseWarmStart(t *testing.T) {
+	for i, m := range LPCorpus(99) {
+		comp := lp.Compile(m)
+		cold, err := comp.Solve(lp.Options{Factorization: lp.FactorSparse})
+		if err != nil || cold.Status != lp.StatusOptimal {
+			continue
+		}
+		basis := cold.Basis
+		if basis == nil {
+			continue
+		}
+		// Perturb every row RHS slightly and re-solve warm and cold.
+		nr := comp.NumRows()
+		for r := 0; r < nr; r++ {
+			comp.SetRowRHS(r, comp.RowRHS(r)*1.01)
+		}
+		warm, err := comp.Solve(lp.Options{Factorization: lp.FactorSparse, WarmStart: basis})
+		if err != nil {
+			t.Fatalf("corpus[%d]: warm sparse: %v", i, err)
+		}
+		coldB, err := comp.Solve(lp.Options{Factorization: lp.FactorSparse})
+		if err != nil {
+			t.Fatalf("corpus[%d]: cold sparse: %v", i, err)
+		}
+		if warm.Status != coldB.Status {
+			t.Fatalf("corpus[%d]: warm %v, cold %v", i, warm.Status, coldB.Status)
+		}
+		if warm.Status == lp.StatusOptimal && !relClose(warm.Objective, coldB.Objective, 1e-9) {
+			t.Fatalf("corpus[%d]: warm %.15g, cold %.15g", i, warm.Objective, coldB.Objective)
+		}
+	}
+}

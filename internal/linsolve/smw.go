@@ -44,7 +44,7 @@ type Updated struct {
 	ups  []RowUpdate
 	w    [][]float64 // w[j] = A⁻¹ e_{ups[j].Row} (column of the inverse)
 	cf   *LU         // capacitance factorization
-	z, y []float64   // k-sized scratch
+	z, y []float64   // k-sized scratch, allocated on first CorrectInto
 }
 
 // RankUpdate prepares an SMW solver for A + updates, computing the
@@ -76,7 +76,21 @@ func (f *LU) RankUpdate(ups []RowUpdate) (*Updated, error) {
 // inverse columns once and pass views here; the columns are retained
 // (not copied) and must not be modified while the Updated is in use.
 func (f *LU) RankUpdateCols(ups []RowUpdate, cols [][]float64) (*Updated, error) {
-	n, k := f.n, len(ups)
+	u, err := NewUpdated(f.n, ups, cols)
+	if err != nil {
+		return nil, err
+	}
+	u.base = f
+	return u, nil
+}
+
+// NewUpdated builds the SMW corrector from update rows and their base
+// inverse columns without holding the base factorization itself: the
+// caller supplies cols[j] = A⁻¹ e_{ups[j].Row} however A is factored
+// (dense LU or SparseLU). The resulting Updated supports CorrectInto /
+// CorrectIntoScratch but not Solve, which needs the base.
+func NewUpdated(n int, ups []RowUpdate, cols [][]float64) (*Updated, error) {
+	k := len(ups)
 	if len(cols) != k {
 		return nil, fmt.Errorf("linsolve: %d inverse columns for %d updates", len(cols), k)
 	}
@@ -128,10 +142,7 @@ func (f *LU) RankUpdateCols(ups []RowUpdate, cols [][]float64) (*Updated, error)
 	if k > 0 && maxEntry > capCondLimit*minPivot {
 		return nil, fmt.Errorf("%w: max entry %g, min pivot %g", ErrIllConditioned, maxEntry, minPivot)
 	}
-	return &Updated{
-		base: f, n: n, ups: ups, w: cols, cf: cf,
-		z: make([]float64, k), y: make([]float64, k),
-	}, nil
+	return &Updated{n: n, ups: ups, w: cols, cf: cf}, nil
 }
 
 // Rank returns the rank k of the correction.
@@ -141,29 +152,47 @@ func (u *Updated) Rank() int { return len(u.ups) }
 // y = A⁻¹ b it stores M⁻¹ b into dst. dst and y may be the same slice;
 // y is not otherwise modified, so one precomputed base solution can be
 // corrected against many scenarios. Not safe for concurrent use on one
-// Updated (it reuses internal k-sized scratch).
+// Updated (it reuses internal k-sized scratch); concurrent callers use
+// CorrectIntoScratch.
 func (u *Updated) CorrectInto(dst, y []float64) error {
+	if u.z == nil && len(u.ups) > 0 {
+		u.z = make([]float64, len(u.ups))
+		u.y = make([]float64, len(u.ups))
+	}
+	return u.CorrectIntoScratch(dst, y, u.z, u.y)
+}
+
+// CorrectIntoScratch is CorrectInto with caller-owned k-sized scratch
+// (z and yk, each at least Rank() long), making one Updated safe to
+// share read-only across goroutines — the sweep shares a capacitance
+// factorization across all scenarios with the same update signature.
+func (u *Updated) CorrectIntoScratch(dst, y, z, yk []float64) error {
 	if len(dst) != u.n || len(y) != u.n {
 		return fmt.Errorf("linsolve: correction length %d/%d != %d", len(dst), len(y), u.n)
 	}
+	k := len(u.ups)
+	if len(z) < k || len(yk) < k {
+		return fmt.Errorf("linsolve: correction scratch %d/%d < rank %d", len(z), len(yk), k)
+	}
+	z, yk = z[:k], yk[:k]
 	// z = Vᵀ y.
 	for i, up := range u.ups {
 		s := 0.0
 		for t, c := range up.Cols {
 			s += up.Vals[t] * y[c]
 		}
-		u.z[i] = s
+		z[i] = s
 	}
-	// y' = C⁻¹ z.
-	if err := u.cf.SolveInto(u.y, u.z); err != nil {
+	// yk = C⁻¹ z.
+	if err := u.cf.SolveInto(yk, z); err != nil {
 		return err
 	}
 	if &dst[0] != &y[0] {
 		copy(dst, y)
 	}
-	// dst -= W y'.
+	// dst -= W yk.
 	for j, col := range u.w {
-		f := u.y[j]
+		f := yk[j]
 		if f == 0 {
 			continue
 		}
@@ -174,8 +203,12 @@ func (u *Updated) CorrectInto(dst, y []float64) error {
 	return nil
 }
 
-// Solve solves (A + updates) x = b.
+// Solve solves (A + updates) x = b. It needs the base factorization,
+// so it is unavailable on an Updated built with NewUpdated.
 func (u *Updated) Solve(b []float64) ([]float64, error) {
+	if u.base == nil {
+		return nil, fmt.Errorf("linsolve: Solve needs a base factorization (built with NewUpdated)")
+	}
 	y, err := u.base.Solve(b)
 	if err != nil {
 		return nil, err

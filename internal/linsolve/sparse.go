@@ -1,0 +1,381 @@
+package linsolve
+
+import (
+	"fmt"
+	"math"
+)
+
+// SparseEntry is one nonzero of a sparse row: value Val in column Col.
+type SparseEntry struct {
+	Col int
+	Val float64
+}
+
+// luEntry is one stored factor nonzero. For L columns Idx is the
+// original row index of the multiplier; for U rows Idx is the original
+// column index of the value.
+type luEntry struct {
+	Idx int
+	Val float64
+}
+
+// markowitzTau is the threshold-pivoting stability guard: a candidate
+// pivot must be at least tau times the largest magnitude in its row.
+// 0.1 is the classic compromise between sparsity (small tau admits the
+// fill-minimizing pivot) and growth control (large tau approaches
+// partial pivoting).
+const markowitzTau = 0.1
+
+// markowitzCand bounds how many shortest active rows are examined per
+// elimination step. A handful suffices: Markowitz cost within the
+// shortest rows is a near-optimal local fill heuristic, and a larger
+// pool only slows factorization without measurably less fill.
+const markowitzCand = 8
+
+// SparseLU is a sparse LU factorization with Markowitz pivoting:
+// P·A·Q = L·U where P, Q are the row and column permutations the pivot
+// order induces. Pivots minimize the Markowitz fill count
+// (r_i−1)(c_j−1) among a pool of shortest active rows, subject to a
+// threshold stability guard, so factors of the sparse bases arising
+// from network LPs and reservation matrices stay near the input's
+// nonzero count instead of densifying to n².
+//
+// Solves against the stored factors take caller-owned scratch and are
+// safe for concurrent use on one SparseLU.
+type SparseLU struct {
+	n       int
+	rowPerm []int       // rowPerm[k] = original row eliminated at step k
+	colPerm []int       // colPerm[k] = original column eliminated at step k
+	rowPos  []int       // inverse of rowPerm
+	colPos  []int       // inverse of colPerm
+	piv     []float64   // pivot value per step
+	lcol    [][]luEntry // L column per step: (original row, multiplier)
+	urow    [][]luEntry // U row per step: (original col, value), pivot excluded
+	ucol    [][]luEntry // U column per step position: (step, value), for transpose solves
+
+	inputNNZ int
+}
+
+// FactorSparseRows factors the n×n matrix given as sparse rows. Each
+// row's entries must have in-range column indices; duplicate columns
+// within a row are summed. The input is not retained.
+func FactorSparseRows(rows [][]SparseEntry, n int) (*SparseLU, error) {
+	if len(rows) != n {
+		return nil, fmt.Errorf("linsolve: %d sparse rows for n=%d", len(rows), n)
+	}
+	f := &SparseLU{
+		n:       n,
+		rowPerm: make([]int, n),
+		colPerm: make([]int, n),
+		rowPos:  make([]int, n),
+		colPos:  make([]int, n),
+		piv:     make([]float64, n),
+		lcol:    make([][]luEntry, n),
+		urow:    make([][]luEntry, n),
+	}
+
+	// Active-submatrix working state. act holds each un-eliminated
+	// row's remaining entries restricted to un-eliminated columns.
+	act := make([][]SparseEntry, n)
+	colCount := make([]int, n)  // active rows containing each column
+	colRows := make([][]int, n) // candidate rows per column (lazily cleaned)
+	rowDone := make([]bool, n)
+	for i, row := range rows {
+		cp := make([]SparseEntry, 0, len(row))
+		for _, e := range row {
+			if e.Col < 0 || e.Col >= n {
+				return nil, fmt.Errorf("linsolve: row %d references column %d out of range [0,%d)", i, e.Col, n)
+			}
+			cp = append(cp, e)
+			f.inputNNZ++
+		}
+		cp = mergeDupCols(cp)
+		act[i] = cp
+		for _, e := range cp {
+			colCount[e.Col]++
+			colRows[e.Col] = append(colRows[e.Col], i)
+		}
+	}
+
+	// Rows bucketed by active length for cheap shortest-row lookup.
+	// Entries go stale when a row's length changes or it is eliminated;
+	// stale entries are skipped at pop time.
+	buckets := make([][]int, n+1)
+	push := func(i int) {
+		l := len(act[i])
+		buckets[l] = append(buckets[l], i)
+	}
+	for i := 0; i < n; i++ {
+		push(i)
+	}
+
+	// Row-combination scratch: pos[col] is the entry index of col in
+	// the row being updated, valid when mark[col] == epoch.
+	pos := make([]int, n)
+	mark := make([]int, n)
+	epoch := 0
+
+	for k := 0; k < n; k++ {
+		// Collect up to markowitzCand live rows from the shortest
+		// buckets and pick the cheapest admissible pivot among them.
+		bestRow, bestEntry := -1, -1
+		bestCost, bestAbs := math.Inf(1), 0.0
+		cand := 0
+		for l := 0; l <= n && cand < markowitzCand; l++ {
+			b := buckets[l]
+			w, r := 0, 0
+			for ; r < len(b) && cand < markowitzCand; r++ {
+				i := b[r]
+				if rowDone[i] || len(act[i]) != l {
+					continue // stale: row eliminated or length changed
+				}
+				b[w] = i
+				w++
+				cand++
+				rmax := 0.0
+				for _, e := range act[i] {
+					if v := math.Abs(e.Val); v > rmax {
+						rmax = v
+					}
+				}
+				if rmax < 1e-13 {
+					return nil, ErrSingular
+				}
+				for t, e := range act[i] {
+					v := math.Abs(e.Val)
+					if v < markowitzTau*rmax {
+						continue
+					}
+					cost := float64(l-1) * float64(colCount[e.Col]-1)
+					//lint:ignore pcflint/floatcmp Markowitz costs are products of small integer counts, exactly representable; the tie-break must be exact for determinism
+					if cost < bestCost || (cost == bestCost && v > bestAbs) {
+						bestRow, bestEntry, bestCost, bestAbs = i, t, cost, v
+					}
+				}
+			}
+			// Compact out the stale prefix, keep the unexamined tail.
+			w += copy(b[w:], b[r:])
+			buckets[l] = b[:w]
+		}
+		if bestRow < 0 {
+			return nil, ErrSingular
+		}
+
+		pi := bestRow
+		pe := act[pi][bestEntry]
+		pj := pe.Col
+		f.rowPerm[k], f.colPerm[k] = pi, pj
+		f.rowPos[pi], f.colPos[pj] = k, k
+		f.piv[k] = pe.Val
+		rowDone[pi] = true
+
+		// The pivot row becomes U row k (pivot entry excluded); its
+		// other columns lose one active row.
+		ur := make([]luEntry, 0, len(act[pi])-1)
+		for _, e := range act[pi] {
+			if e.Col == pj {
+				continue
+			}
+			ur = append(ur, luEntry{Idx: e.Col, Val: e.Val})
+			colCount[e.Col]--
+		}
+		f.urow[k] = ur
+		prow := act[pi]
+		act[pi] = nil
+
+		// Eliminate the pivot column from every active row holding it.
+		for _, i := range colRows[pj] {
+			if rowDone[i] {
+				continue
+			}
+			ri := act[i]
+			epoch++
+			found := -1
+			for t, e := range ri {
+				pos[e.Col] = t
+				mark[e.Col] = epoch
+				if e.Col == pj {
+					found = t
+				}
+			}
+			if found < 0 {
+				continue // stale candidate: entry cancelled earlier
+			}
+			m := ri[found].Val / pe.Val
+			f.lcol[k] = append(f.lcol[k], luEntry{Idx: i, Val: m})
+			// Remove the pivot column entry (order-preserving so row
+			// entry order stays deterministic).
+			copy(ri[found:], ri[found+1:])
+			ri = ri[:len(ri)-1]
+			colCount[pj]--
+			if m != 0 {
+				for _, e := range prow {
+					if e.Col == pj {
+						continue
+					}
+					if mark[e.Col] == epoch {
+						t := pos[e.Col]
+						if t > found {
+							t--
+							pos[e.Col] = t
+						}
+						ri[t].Val -= m * e.Val
+					} else {
+						ri = append(ri, SparseEntry{Col: e.Col, Val: -m * e.Val})
+						mark[e.Col] = epoch
+						pos[e.Col] = len(ri) - 1
+						colCount[e.Col]++
+						colRows[e.Col] = append(colRows[e.Col], i)
+					}
+				}
+			}
+			act[i] = ri
+			push(i)
+		}
+		colRows[pj] = nil
+	}
+
+	f.buildUcol()
+	return f, nil
+}
+
+// buildUcol transposes the U rows into per-column-position lists used
+// by transpose solves, ordered by increasing step.
+func (f *SparseLU) buildUcol() {
+	f.ucol = make([][]luEntry, f.n)
+	for k := 0; k < f.n; k++ {
+		for _, e := range f.urow[k] {
+			kc := f.colPos[e.Idx]
+			f.ucol[kc] = append(f.ucol[kc], luEntry{Idx: k, Val: e.Val})
+		}
+	}
+}
+
+// mergeDupCols sorts a row's entries by column and sums duplicates.
+func mergeDupCols(row []SparseEntry) []SparseEntry {
+	sortEntries(row)
+	w := 0
+	for r := 0; r < len(row); r++ {
+		if w > 0 && row[w-1].Col == row[r].Col {
+			row[w-1].Val += row[r].Val
+		} else {
+			row[w] = row[r]
+			w++
+		}
+	}
+	return row[:w]
+}
+
+// sortEntries is an insertion sort by column: rows are short and
+// usually already ordered, where insertion sort is branch-cheap.
+func sortEntries(row []SparseEntry) {
+	for i := 1; i < len(row); i++ {
+		e := row[i]
+		j := i - 1
+		for j >= 0 && row[j].Col > e.Col {
+			row[j+1] = row[j]
+			j--
+		}
+		row[j+1] = e
+	}
+}
+
+// N returns the matrix dimension.
+func (f *SparseLU) N() int { return f.n }
+
+// InputNNZ returns the nonzero count of the factored matrix.
+func (f *SparseLU) InputNNZ() int { return f.inputNNZ }
+
+// FactorNNZ returns the nonzero count of the stored L and U factors
+// (pivots included), the fill-in measure the refactorization triggers
+// compare against.
+func (f *SparseLU) FactorNNZ() int {
+	nnz := f.n // pivots
+	for k := 0; k < f.n; k++ {
+		nnz += len(f.lcol[k]) + len(f.urow[k])
+	}
+	return nnz
+}
+
+// Solve solves A x = b.
+func (f *SparseLU) Solve(b []float64) ([]float64, error) {
+	x := make([]float64, f.n)
+	if err := f.SolveIntoScratch(x, b, make([]float64, f.n)); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto solves A x = b into a caller-owned buffer. It allocates a
+// transient n-sized workspace; hot paths should use SolveIntoScratch.
+func (f *SparseLU) SolveInto(x, b []float64) error {
+	return f.SolveIntoScratch(x, b, make([]float64, f.n))
+}
+
+// SolveIntoScratch solves A x = b using caller-owned scratch w (length
+// n), allocation-free and safe for concurrent use on one SparseLU.
+// x must not overlap b or w.
+func (f *SparseLU) SolveIntoScratch(x, b, w []float64) error {
+	n := f.n
+	if len(b) != n || len(x) != n || len(w) != n {
+		return fmt.Errorf("linsolve: rhs length %d (dst %d, scratch %d) != %d", len(b), len(x), len(w), n)
+	}
+	copy(w, b)
+	// Forward elimination: w := L⁻¹ P b, indexed by original row.
+	for k := 0; k < n; k++ {
+		t := w[f.rowPerm[k]]
+		if t == 0 {
+			continue
+		}
+		for _, e := range f.lcol[k] {
+			w[e.Idx] -= e.Val * t
+		}
+	}
+	// Back substitution through U, writing x by original column.
+	for k := n - 1; k >= 0; k-- {
+		s := w[f.rowPerm[k]]
+		for _, e := range f.urow[k] {
+			s -= e.Val * x[e.Idx]
+		}
+		x[f.colPerm[k]] = s / f.piv[k]
+	}
+	return nil
+}
+
+// SolveTransposeIntoScratch solves Aᵀ y = c using caller-owned scratch
+// w (length n), allocation-free and safe for concurrent use. y must
+// not overlap c or w. Transpose solves are the BTRAN half of the
+// simplex: row prices against the same factors.
+func (f *SparseLU) SolveTransposeIntoScratch(y, c, w []float64) error {
+	n := f.n
+	if len(c) != n || len(y) != n || len(w) != n {
+		return fmt.Errorf("linsolve: rhs length %d (dst %d, scratch %d) != %d", len(c), len(y), len(w), n)
+	}
+	// Uᵀ z = Qᵀ c, forward by step using the column-position index.
+	for k := 0; k < n; k++ {
+		s := c[f.colPerm[k]]
+		for _, e := range f.ucol[k] {
+			s -= e.Val * w[e.Idx]
+		}
+		w[k] = s / f.piv[k]
+	}
+	// Lᵀ u = z, backward: the multipliers in lcol[k] couple step k to
+	// the later steps eliminating those rows.
+	for k := n - 1; k >= 0; k-- {
+		s := w[k]
+		for _, e := range f.lcol[k] {
+			s -= e.Val * w[f.rowPos[e.Idx]]
+		}
+		w[k] = s
+	}
+	for k := 0; k < n; k++ {
+		y[f.rowPerm[k]] = w[k]
+	}
+	return nil
+}
+
+// SolveTransposeInto solves Aᵀ y = c into a caller-owned buffer,
+// allocating a transient workspace.
+func (f *SparseLU) SolveTransposeInto(y, c []float64) error {
+	return f.SolveTransposeIntoScratch(y, c, make([]float64, f.n))
+}

@@ -1,0 +1,196 @@
+package linsolve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sparseFromDense converts a row-major dense matrix to sparse rows,
+// dropping exact zeros.
+func sparseFromDense(a []float64, n int) [][]SparseEntry {
+	rows := make([][]SparseEntry, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := a[i*n+j]; v != 0 {
+				rows[i] = append(rows[i], SparseEntry{Col: j, Val: v})
+			}
+		}
+	}
+	return rows
+}
+
+// randSparseMatrix builds a random diagonally dominant n×n matrix with
+// roughly fill off-diagonal nonzeros per row — always invertible, the
+// shape of PCF reservation systems.
+func randSparseMatrix(rng *rand.Rand, n, fill int) []float64 {
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		rowSum := 0.0
+		for t := 0; t < fill; t++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := rng.Float64()*2 - 1
+			a[i*n+j] += v
+			rowSum += math.Abs(a[i*n+j])
+		}
+		a[i*n+i] = rowSum + 1 + rng.Float64()
+	}
+	return a
+}
+
+func TestSparseLUMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 5, 17, 60, 144} {
+		a := randSparseMatrix(rng, n, 4)
+		dense, err := Factor(a, n)
+		if err != nil {
+			t.Fatalf("n=%d: dense factor: %v", n, err)
+		}
+		sp, err := FactorSparseRows(sparseFromDense(a, n), n)
+		if err != nil {
+			t.Fatalf("n=%d: sparse factor: %v", n, err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Float64()*10 - 5
+		}
+		xd, err := dense.Solve(b)
+		if err != nil {
+			t.Fatalf("n=%d: dense solve: %v", n, err)
+		}
+		xs, err := sp.Solve(b)
+		if err != nil {
+			t.Fatalf("n=%d: sparse solve: %v", n, err)
+		}
+		for i := range xd {
+			if math.Abs(xd[i]-xs[i]) > 1e-9*(1+math.Abs(xd[i])) {
+				t.Fatalf("n=%d: x[%d] dense %.12g sparse %.12g", n, i, xd[i], xs[i])
+			}
+		}
+		if r := Residual(a, xs, b, n); r > 1e-8 {
+			t.Fatalf("n=%d: sparse residual %g", n, r)
+		}
+	}
+}
+
+func TestSparseLUTransposeSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{1, 3, 12, 48, 100} {
+		a := randSparseMatrix(rng, n, 3)
+		sp, err := FactorSparseRows(sparseFromDense(a, n), n)
+		if err != nil {
+			t.Fatalf("n=%d: factor: %v", n, err)
+		}
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = rng.Float64()*4 - 2
+		}
+		y := make([]float64, n)
+		if err := sp.SolveTransposeInto(y, c); err != nil {
+			t.Fatalf("n=%d: transpose solve: %v", n, err)
+		}
+		// Check Aᵀ y = c directly.
+		for j := 0; j < n; j++ {
+			s := -c[j]
+			for i := 0; i < n; i++ {
+				s += a[i*n+j] * y[i]
+			}
+			if math.Abs(s) > 1e-8 {
+				t.Fatalf("n=%d: transpose residual %g at col %d", n, s, j)
+			}
+		}
+	}
+}
+
+func TestSparseLUDuplicateColsSummed(t *testing.T) {
+	// Row entries with repeated columns must sum, matching the dense
+	// accumulation the sweep's delta construction performs.
+	rows := [][]SparseEntry{
+		{{Col: 0, Val: 2}, {Col: 1, Val: 1}, {Col: 0, Val: 1}}, // 3, 1
+		{{Col: 1, Val: 4}},
+	}
+	sp, err := FactorSparseRows(rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := sp.Solve([]float64{5, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3x0 + x1 = 5, 4x1 = 8 → x1 = 2, x0 = 1.
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("got x = %v, want [1 2]", x)
+	}
+}
+
+func TestSparseLUSingular(t *testing.T) {
+	// A structurally singular matrix (empty row) and a numerically
+	// singular one (duplicate rows) must both report ErrSingular.
+	if _, err := FactorSparseRows([][]SparseEntry{{{Col: 0, Val: 1}}, nil}, 2); err != ErrSingular {
+		t.Fatalf("empty row: got %v, want ErrSingular", err)
+	}
+	rows := [][]SparseEntry{
+		{{Col: 0, Val: 1}, {Col: 1, Val: 2}},
+		{{Col: 0, Val: 2}, {Col: 1, Val: 4}},
+	}
+	if _, err := FactorSparseRows(rows, 2); err != ErrSingular {
+		t.Fatalf("dependent rows: got %v, want ErrSingular", err)
+	}
+}
+
+func TestSparseLUFillStaysBounded(t *testing.T) {
+	// On a tridiagonal system Markowitz ordering should produce no
+	// fill at all: factors no larger than the input.
+	n := 400
+	rows := make([][]SparseEntry, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			rows[i] = append(rows[i], SparseEntry{Col: i - 1, Val: -1})
+		}
+		rows[i] = append(rows[i], SparseEntry{Col: i, Val: 4})
+		if i < n-1 {
+			rows[i] = append(rows[i], SparseEntry{Col: i + 1, Val: -1})
+		}
+	}
+	sp, err := FactorSparseRows(rows, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, in := sp.FactorNNZ(), sp.InputNNZ(); got > in {
+		t.Fatalf("tridiagonal fill: factors %d nnz > input %d", got, in)
+	}
+}
+
+func TestSparseLUDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 80
+	a := randSparseMatrix(rng, n, 5)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.Float64()
+	}
+	f1, err := FactorSparseRows(sparseFromDense(a, n), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := FactorSparseRows(sparseFromDense(a, n), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, err := f1.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := f2.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if math.Float64bits(x1[i]) != math.Float64bits(x2[i]) {
+			t.Fatalf("factorization not deterministic at x[%d]: %x vs %x", i, x1[i], x2[i])
+		}
+	}
+}

@@ -1,0 +1,440 @@
+package lp
+
+import (
+	"math"
+
+	"pcf/internal/linsolve"
+)
+
+// Factorization selects the basis-factorization backend of the revised
+// simplex.
+type Factorization int
+
+const (
+	// FactorAuto picks dense for small bases and sparse above
+	// sparseFactorMin rows — paper-scale instances keep the dense
+	// trajectory exactly, synthetic 1k+-node instances get the sparse
+	// core.
+	FactorAuto Factorization = iota
+	// FactorDense forces the dense m×m basis inverse with product-form
+	// updates.
+	FactorDense
+	// FactorSparse forces the sparse Markowitz LU with an eta update
+	// chain.
+	FactorSparse
+)
+
+// sparseFactorMin is the basis-row count at which FactorAuto switches
+// to the sparse factorization. A package variable so the equivalence
+// tests can force the crossover onto small instances.
+var sparseFactorMin = 512
+
+// factorizer abstracts how the simplex represents B⁻¹. The dense
+// implementation is the original explicit inverse with product-form
+// row updates; the sparse one stores Markowitz LU factors plus an eta
+// chain. All methods are in terms of the owning state's current basis.
+type factorizer interface {
+	// reset installs the factorization of the initial all-artificial
+	// basis (B = diag(artSign)) without touching fault hooks.
+	reset()
+	// refactor rebuilds the factorization from the current basis,
+	// returning false when the basis matrix is singular.
+	refactor() bool
+	// ftran computes d = B⁻¹·A_j for std column j (artificials
+	// included), dense output.
+	ftran(j int, d []float64)
+	// btran computes y = costBᵀ·B⁻¹.
+	btran(costB, y []float64)
+	// invRow copies row r of B⁻¹ into rho.
+	invRow(r int, rho []float64)
+	// applyInv computes x = B⁻¹·rhs for a dense right-hand side.
+	applyInv(rhs, x []float64)
+	// update folds the pivot with direction d = B⁻¹·A_enter at leaveRow
+	// into the factorization.
+	update(leaveRow int, d []float64)
+	// negateRow flips row i of B⁻¹ in place, reporting false when the
+	// representation cannot (the caller refactorizes instead).
+	negateRow(i int) bool
+	// shouldRefactor reports that accumulated updates grew past the
+	// representation's cheap-apply regime (eta-chain length or fill),
+	// asking the driving loop for a rebuild ahead of RefactorEvery.
+	shouldRefactor() bool
+	// stats reports basis nonzeros, factor nonzeros, and the current
+	// update-chain length for SolveStats telemetry. Zeros for dense.
+	stats() (basisNNZ, factorNNZ, etaLen int)
+}
+
+// ---------------------------------------------------------------------
+// Dense: explicit m×m inverse, product-form updates. This is the
+// original simplex core, kept operation-for-operation identical so the
+// dense path stays bit-compatible.
+
+type denseFactor struct {
+	st   *simplexState
+	binv []float64 // m x m row-major dense basis inverse
+}
+
+func newDenseFactor(st *simplexState) *denseFactor {
+	return &denseFactor{st: st, binv: make([]float64, st.m*st.m)}
+}
+
+func (f *denseFactor) reset() {
+	m := f.st.m
+	for i := range f.binv {
+		f.binv[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		f.binv[i*m+i] = f.st.artSign[i]
+	}
+}
+
+func (f *denseFactor) refactor() bool {
+	st := f.st
+	m := st.m
+	// Build dense basis matrix a (m x m) augmented with identity.
+	a := make([]float64, m*m)
+	col := make([]float64, m)
+	for k, j := range st.basis {
+		st.colVec(j, col)
+		for i := 0; i < m; i++ {
+			a[i*m+k] = col[i]
+		}
+	}
+	inv := make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		inv[i*m+i] = 1
+	}
+	for c := 0; c < m; c++ {
+		// Partial pivot.
+		p, best := -1, 0.0
+		for r := c; r < m; r++ {
+			if v := math.Abs(a[r*m+c]); v > best {
+				best, p = v, r
+			}
+		}
+		if p < 0 || best < 1e-12 {
+			return false
+		}
+		if p != c {
+			for j := 0; j < m; j++ {
+				a[p*m+j], a[c*m+j] = a[c*m+j], a[p*m+j]
+				inv[p*m+j], inv[c*m+j] = inv[c*m+j], inv[p*m+j]
+			}
+		}
+		pv := a[c*m+c]
+		ipv := 1 / pv
+		for j := 0; j < m; j++ {
+			a[c*m+j] *= ipv
+			inv[c*m+j] *= ipv
+		}
+		for r := 0; r < m; r++ {
+			if r == c {
+				continue
+			}
+			f := a[r*m+c]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				a[r*m+j] -= f * a[c*m+j]
+				inv[r*m+j] -= f * inv[c*m+j]
+			}
+		}
+	}
+	copy(f.binv, inv)
+	return true
+}
+
+func (f *denseFactor) ftran(j int, d []float64) {
+	st := f.st
+	m := st.m
+	for i := range d {
+		d[i] = 0
+	}
+	if j >= st.cm.nCols {
+		r := j - st.cm.nCols
+		s := st.artSign[r]
+		for i := 0; i < m; i++ {
+			d[i] = f.binv[i*m+r] * s
+		}
+		return
+	}
+	for _, e := range st.cm.cols[j] {
+		if e.val == 0 {
+			continue
+		}
+		col := e.row
+		v := e.val
+		for i := 0; i < m; i++ {
+			d[i] += f.binv[i*m+col] * v
+		}
+	}
+}
+
+func (f *denseFactor) btran(costB, y []float64) {
+	m := f.st.m
+	for j := 0; j < m; j++ {
+		y[j] = 0
+	}
+	for i := 0; i < m; i++ {
+		cb := costB[i]
+		if cb == 0 {
+			continue
+		}
+		row := f.binv[i*m : i*m+m]
+		for j := 0; j < m; j++ {
+			y[j] += cb * row[j]
+		}
+	}
+}
+
+func (f *denseFactor) invRow(r int, rho []float64) {
+	m := f.st.m
+	copy(rho, f.binv[r*m:r*m+m])
+}
+
+func (f *denseFactor) applyInv(rhs, x []float64) {
+	m := f.st.m
+	for i := 0; i < m; i++ {
+		s := 0.0
+		row := f.binv[i*m : i*m+m]
+		for j := 0; j < m; j++ {
+			s += row[j] * rhs[j]
+		}
+		x[i] = s
+	}
+}
+
+func (f *denseFactor) update(leaveRow int, d []float64) {
+	m := f.st.m
+	// Row ops making column d into e_leaveRow: multiply binv by the
+	// pivot's eta matrix.
+	ip := 1 / d[leaveRow]
+	lrow := f.binv[leaveRow*m : leaveRow*m+m]
+	for j := 0; j < m; j++ {
+		lrow[j] *= ip
+	}
+	for i := 0; i < m; i++ {
+		if i == leaveRow {
+			continue
+		}
+		fc := d[i]
+		if fc == 0 {
+			continue
+		}
+		row := f.binv[i*m : i*m+m]
+		for j := 0; j < m; j++ {
+			row[j] -= fc * lrow[j]
+		}
+	}
+}
+
+func (f *denseFactor) negateRow(i int) bool {
+	m := f.st.m
+	row := f.binv[i*m : i*m+m]
+	for k := range row {
+		row[k] = -row[k]
+	}
+	return true
+}
+
+func (f *denseFactor) shouldRefactor() bool { return false }
+
+func (f *denseFactor) stats() (int, int, int) { return 0, 0, 0 }
+
+// ---------------------------------------------------------------------
+// Sparse: Markowitz LU of the basis plus a product-form eta chain.
+// B_k = B_0 · E_1 ⋯ E_k, so B_k⁻¹ v = E_k(⋯E_1(B_0⁻¹ v)) (FTRAN
+// applies the LU solve then the etas in order) and cᵀB_k⁻¹ applies the
+// transposed etas in reverse before the LU transpose solve (BTRAN).
+
+// etaUpdate is one pivot's update: at row r with pivot dr, off-pivot
+// direction entries nz (original row indices).
+type etaUpdate struct {
+	r  int
+	dr float64
+	nz []linsolve.SparseEntry // Col = row index i≠r, Val = d[i]
+}
+
+type sparseFactor struct {
+	st     *simplexState
+	lu     *linsolve.SparseLU
+	etas   []etaUpdate
+	etaNNZ int
+
+	basisNNZ int
+	luNNZ    int
+
+	// Scratch reused across operations (the simplex is single-threaded
+	// per state).
+	rhs []float64
+	w   []float64
+}
+
+func newSparseFactor(st *simplexState) *sparseFactor {
+	return &sparseFactor{
+		st:  st,
+		rhs: make([]float64, st.m),
+		w:   make([]float64, st.m),
+	}
+}
+
+func (f *sparseFactor) reset() {
+	st := f.st
+	rows := make([][]linsolve.SparseEntry, st.m)
+	for i := 0; i < st.m; i++ {
+		rows[i] = []linsolve.SparseEntry{{Col: i, Val: st.artSign[i]}}
+	}
+	// A diagonal of ±1 cannot fail to factor.
+	lu, err := linsolve.FactorSparseRows(rows, st.m)
+	if err != nil {
+		// Unreachable; keep the old factors rather than crash.
+		return
+	}
+	f.install(lu, st.m)
+}
+
+func (f *sparseFactor) install(lu *linsolve.SparseLU, nnz int) {
+	f.lu = lu
+	f.basisNNZ = nnz
+	f.luNNZ = lu.FactorNNZ()
+	f.etas = f.etas[:0]
+	f.etaNNZ = 0
+}
+
+func (f *sparseFactor) refactor() bool {
+	st := f.st
+	m := st.m
+	rows := make([][]linsolve.SparseEntry, m)
+	nnz := 0
+	for k, j := range st.basis {
+		if j >= st.cm.nCols {
+			r := j - st.cm.nCols
+			rows[r] = append(rows[r], linsolve.SparseEntry{Col: k, Val: st.artSign[r]})
+			nnz++
+			continue
+		}
+		for _, e := range st.cm.cols[j] {
+			if e.val == 0 {
+				continue
+			}
+			rows[e.row] = append(rows[e.row], linsolve.SparseEntry{Col: k, Val: e.val})
+			nnz++
+		}
+	}
+	lu, err := linsolve.FactorSparseRows(rows, m)
+	if err != nil {
+		return false
+	}
+	f.install(lu, nnz)
+	return true
+}
+
+// applyEtas folds the eta chain into a freshly LU-solved vector:
+// v ← E_k(⋯E_1(v)).
+func (f *sparseFactor) applyEtas(v []float64) {
+	for t := range f.etas {
+		e := &f.etas[t]
+		p := v[e.r]
+		if p == 0 {
+			continue
+		}
+		p /= e.dr
+		v[e.r] = p
+		for _, nz := range e.nz {
+			v[nz.Col] -= nz.Val * p
+		}
+	}
+}
+
+// applyEtasT folds the transposed eta chain into a row vector, newest
+// eta first — the BTRAN half: per eta,
+// c_r ← (c_r − Σ_{i≠r} d_i·c_i) / d_r.
+func (f *sparseFactor) applyEtasT(c []float64) {
+	for t := len(f.etas) - 1; t >= 0; t-- {
+		e := &f.etas[t]
+		s := c[e.r]
+		for _, nz := range e.nz {
+			s -= nz.Val * c[nz.Col]
+		}
+		c[e.r] = s / e.dr
+	}
+}
+
+func (f *sparseFactor) ftran(j int, d []float64) {
+	st := f.st
+	st.colVec(j, f.rhs)
+	// d = B₀⁻¹ rhs, then the eta chain.
+	if err := f.lu.SolveIntoScratch(d, f.rhs, f.w); err != nil {
+		// Cannot happen on a successfully factored basis with matching
+		// lengths; zero output keeps downstream checks failing safely.
+		for i := range d {
+			d[i] = 0
+		}
+		return
+	}
+	f.applyEtas(d)
+}
+
+func (f *sparseFactor) btran(costB, y []float64) {
+	copy(f.rhs, costB)
+	f.applyEtasT(f.rhs)
+	if err := f.lu.SolveTransposeIntoScratch(y, f.rhs, f.w); err != nil {
+		for i := range y {
+			y[i] = 0
+		}
+	}
+}
+
+func (f *sparseFactor) invRow(r int, rho []float64) {
+	for i := range f.rhs {
+		f.rhs[i] = 0
+	}
+	f.rhs[r] = 1
+	f.applyEtasT(f.rhs)
+	if err := f.lu.SolveTransposeIntoScratch(rho, f.rhs, f.w); err != nil {
+		for i := range rho {
+			rho[i] = 0
+		}
+	}
+}
+
+func (f *sparseFactor) applyInv(rhs, x []float64) {
+	if err := f.lu.SolveIntoScratch(x, rhs, f.w); err != nil {
+		for i := range x {
+			x[i] = 0
+		}
+		return
+	}
+	f.applyEtas(x)
+}
+
+func (f *sparseFactor) update(leaveRow int, d []float64) {
+	nz := make([]linsolve.SparseEntry, 0, 16)
+	for i, v := range d {
+		if v != 0 && i != leaveRow {
+			nz = append(nz, linsolve.SparseEntry{Col: i, Val: v})
+		}
+	}
+	f.etas = append(f.etas, etaUpdate{r: leaveRow, dr: d[leaveRow], nz: nz})
+	f.etaNNZ += len(nz) + 1
+}
+
+func (f *sparseFactor) negateRow(i int) bool { return false }
+
+// shouldRefactor triggers a rebuild when the eta chain outgrows the
+// LU factors it decorates: once applying the chain costs as much as a
+// fresh sparse factorization, refactoring is both faster and more
+// accurate. Both the chain length (apply overhead is per-eta) and its
+// nonzero mass (apply cost is per-entry) gate.
+func (f *sparseFactor) shouldRefactor() bool {
+	m := f.st.m
+	if len(f.etas) >= 24+m/8 {
+		return true
+	}
+	return f.etaNNZ > 2*f.luNNZ+m
+}
+
+func (f *sparseFactor) stats() (int, int, int) {
+	return f.basisNNZ, f.luNNZ, len(f.etas)
+}

@@ -46,6 +46,12 @@ type Options struct {
 	// to a cold solve whenever the basis proves unusable, so a warm
 	// start never changes the result — only the work to reach it.
 	WarmStart *Basis
+	// Factorization selects the basis representation: FactorAuto (the
+	// default) keeps the dense inverse for small bases and switches to
+	// the sparse Markowitz LU with eta updates above sparseFactorMin
+	// rows; FactorDense and FactorSparse force a backend. Both backends
+	// agree to 1e-9 on answers and verdicts.
+	Factorization Factorization
 }
 
 // ctxErr reports the context's cancellation error, nil without one.
@@ -95,6 +101,27 @@ type SolveStats struct {
 	// the warm path produced the result (no cold fallback).
 	WarmStarted bool
 	WarmHit     bool
+	// SparseFactor records that the sparse basis factorization ran.
+	SparseFactor bool
+	// Refactors counts basis refactorizations across the solve.
+	Refactors int
+	// BasisNNZ and FactorNNZ are the nonzero counts of the last
+	// factored basis matrix and of its L+U factors (sparse path only;
+	// zero on the dense path).
+	BasisNNZ  int
+	FactorNNZ int
+	// MaxEtaLen is the longest eta/Forrest–Tomlin update chain carried
+	// between refactorizations (sparse path only).
+	MaxEtaLen int
+}
+
+// FillRatio reports the fill-in of the last sparse factorization:
+// factor nonzeros over basis nonzeros, 0 when the dense path ran.
+func (s SolveStats) FillRatio() float64 {
+	if s.BasisNNZ == 0 {
+		return 0
+	}
+	return float64(s.FactorNNZ) / float64(s.BasisNNZ)
 }
 
 // Iterations reports the total simplex iterations across all phases.
@@ -130,9 +157,9 @@ type simplexState struct {
 	cm    *Compiled
 	opts  Options
 	m     int
-	basis []int     // basic column per row (std columns; artificials are >= nCols)
-	binv  []float64 // m x m row-major dense basis inverse
-	xB    []float64 // basic variable values
+	basis []int      // basic column per row (std columns; artificials are >= nCols)
+	fac   factorizer // basis representation: dense inverse or sparse LU + etas
+	xB    []float64  // basic variable values
 	// artSign is the sign of each row's artificial column. Artificials
 	// enter with the sign of the current b so their start value is
 	// nonnegative even after RHS edits turned some b negative.
@@ -141,10 +168,34 @@ type simplexState struct {
 	iter    int
 	// Per-phase iteration counters for SolveStats.
 	p1Iters, p2Iters, dualIters int
+	// Factorization telemetry for SolveStats.
+	refactors, maxEtaLen int
 	// Diagnostics for SolveError: the phase currently running and the
 	// last phase objective observed.
 	phase   int
 	lastObj float64
+}
+
+// newFactorizer picks the basis backend for an m-row state.
+func newFactorizer(st *simplexState, opts Options) factorizer {
+	if opts.Factorization == FactorSparse ||
+		(opts.Factorization == FactorAuto && st.m >= sparseFactorMin) {
+		return newSparseFactor(st)
+	}
+	return newDenseFactor(st)
+}
+
+// fillFactorStats copies the state's factorization telemetry into
+// stats.
+func (st *simplexState) fillFactorStats(stats *SolveStats) {
+	if st.fac == nil {
+		return
+	}
+	_, sparse := st.fac.(*sparseFactor)
+	stats.SparseFactor = sparse
+	stats.Refactors = st.refactors
+	stats.BasisNNZ, stats.FactorNNZ, _ = st.fac.stats()
+	stats.MaxEtaLen = st.maxEtaLen
 }
 
 // abortErr wraps a cause with the state's partial diagnostics.
@@ -156,7 +207,6 @@ func newSimplexState(cm *Compiled, opts Options) *simplexState {
 	m := cm.nRows
 	st := &simplexState{cm: cm, opts: opts, m: m}
 	st.basis = make([]int, m)
-	st.binv = make([]float64, m*m)
 	st.xB = make([]float64, m)
 	st.artSign = make([]float64, m)
 	st.inB = make([]bool, cm.nCols+m)
@@ -166,10 +216,11 @@ func newSimplexState(cm *Compiled, opts Options) *simplexState {
 			st.artSign[i] = -1
 		}
 		st.basis[i] = cm.nCols + i // artificial i
-		st.binv[i*m+i] = st.artSign[i]
 		st.xB[i] = cm.b[i] * st.artSign[i]
 		st.inB[cm.nCols+i] = true
 	}
+	st.fac = newFactorizer(st, opts)
+	st.fac.reset()
 	return st
 }
 
@@ -185,7 +236,6 @@ func newWarmState(cm *Compiled, opts Options, ws *Basis) *simplexState {
 	}
 	st := &simplexState{cm: cm, opts: opts, m: m}
 	st.basis = make([]int, m)
-	st.binv = make([]float64, m*m)
 	st.xB = make([]float64, m)
 	st.artSign = make([]float64, m)
 	for i := range st.artSign {
@@ -218,6 +268,7 @@ func newWarmState(cm *Compiled, opts Options, ws *Basis) *simplexState {
 			st.inB[cm.nCols+i] = true
 		}
 	}
+	st.fac = newFactorizer(st, opts)
 	return st
 }
 
@@ -251,128 +302,46 @@ func (st *simplexState) colVec(j int, dst []float64) {
 	}
 }
 
-// ftran computes d = binv * col(j).
+// ftran computes d = B⁻¹ * col(j).
 func (st *simplexState) ftran(j int, d []float64) {
-	m := st.m
-	for i := range d {
-		d[i] = 0
-	}
-	if j >= st.cm.nCols {
-		r := j - st.cm.nCols
-		s := st.artSign[r]
-		for i := 0; i < m; i++ {
-			d[i] = st.binv[i*m+r] * s
-		}
-		return
-	}
-	for _, e := range st.cm.cols[j] {
-		if e.val == 0 {
-			continue
-		}
-		col := e.row
-		v := e.val
-		for i := 0; i < m; i++ {
-			d[i] += st.binv[i*m+col] * v
-		}
-	}
+	st.fac.ftran(j, d)
 }
 
-// btran computes y = costB' * binv for the supplied basic costs.
+// btran computes y = costB' * B⁻¹ for the supplied basic costs.
 func (st *simplexState) btran(costB, y []float64) {
-	m := st.m
-	for j := 0; j < m; j++ {
-		y[j] = 0
-	}
-	for i := 0; i < m; i++ {
-		cb := costB[i]
-		if cb == 0 {
-			continue
-		}
-		row := st.binv[i*m : i*m+m]
-		for j := 0; j < m; j++ {
-			y[j] += cb * row[j]
-		}
-	}
+	st.fac.btran(costB, y)
 }
 
-// refactor recomputes binv from the current basis by Gauss-Jordan with
-// partial pivoting, and recomputes xB. Returns false if the basis
-// matrix is singular (or a fault hook injected a failure).
+// refactor rebuilds the basis factorization from the current basis
+// (dense Gauss-Jordan inverse or sparse Markowitz LU) and recomputes
+// xB. Returns false if the basis matrix is singular (or a fault hook
+// injected a failure).
 func (st *simplexState) refactor() bool {
 	if h := st.opts.FaultHook; h != nil {
 		if h(FaultEvent{Point: FaultRefactor, Iter: st.iter, Rows: st.cm.nRows, Cols: st.cm.nCols}) != nil {
 			return false
 		}
 	}
-	m := st.m
-	// Build dense basis matrix a (m x m) augmented with identity.
-	a := make([]float64, m*m)
-	col := make([]float64, m)
-	for k, j := range st.basis {
-		st.colVec(j, col)
-		for i := 0; i < m; i++ {
-			a[i*m+k] = col[i]
-		}
+	if !st.fac.refactor() {
+		return false
 	}
-	inv := make([]float64, m*m)
-	for i := 0; i < m; i++ {
-		inv[i*m+i] = 1
-	}
-	for c := 0; c < m; c++ {
-		// Partial pivot.
-		p, best := -1, 0.0
-		for r := c; r < m; r++ {
-			if v := math.Abs(a[r*m+c]); v > best {
-				best, p = v, r
-			}
-		}
-		if p < 0 || best < 1e-12 {
-			return false
-		}
-		if p != c {
-			for j := 0; j < m; j++ {
-				a[p*m+j], a[c*m+j] = a[c*m+j], a[p*m+j]
-				inv[p*m+j], inv[c*m+j] = inv[c*m+j], inv[p*m+j]
-			}
-		}
-		pv := a[c*m+c]
-		ipv := 1 / pv
-		for j := 0; j < m; j++ {
-			a[c*m+j] *= ipv
-			inv[c*m+j] *= ipv
-		}
-		for r := 0; r < m; r++ {
-			if r == c {
-				continue
-			}
-			f := a[r*m+c]
-			if f == 0 {
-				continue
-			}
-			for j := 0; j < m; j++ {
-				a[r*m+j] -= f * a[c*m+j]
-				inv[r*m+j] -= f * inv[c*m+j]
-			}
-		}
-	}
-	copy(st.binv, inv)
-	// xB = binv * b.
-	for i := 0; i < m; i++ {
-		s := 0.0
-		row := st.binv[i*m : i*m+m]
-		for j := 0; j < m; j++ {
-			s += row[j] * st.cm.b[j]
-		}
-		st.xB[i] = s
-	}
+	st.refactors++
+	// xB = B⁻¹ * b.
+	st.fac.applyInv(st.cm.b, st.xB)
 	return true
 }
 
+// needRefactor merges the fixed-period trigger with the factorizer's
+// own growth trigger (eta-chain length / fill on the sparse path).
+func (st *simplexState) needRefactor(sinceRefactor int) bool {
+	return sinceRefactor >= st.opts.RefactorEvery || st.fac.shouldRefactor()
+}
+
 // pivot performs the basis change: column enter replaces the basic
-// column in row leaveRow, with direction vector d = binv*A_enter. The
-// basis inverse is updated with the product-form (eta) row operations
-// rather than refactored: the update makes column d into e_leaveRow,
-// which is exactly multiplying binv by the eta matrix of the pivot.
+// column in row leaveRow, with direction vector d = B⁻¹*A_enter. The
+// factorization absorbs the pivot as a product-form update (dense row
+// operations on the inverse, or an appended eta on the sparse path)
+// rather than refactoring.
 func (st *simplexState) pivot(enter, leaveRow int, d []float64) {
 	m := st.m
 	pd := d[leaveRow]
@@ -387,24 +356,9 @@ func (st *simplexState) pivot(enter, leaveRow int, d []float64) {
 		}
 	}
 	st.xB[leaveRow] = theta
-	// Update binv: row ops making column d into e_leaveRow.
-	ip := 1 / pd
-	lrow := st.binv[leaveRow*m : leaveRow*m+m]
-	for j := 0; j < m; j++ {
-		lrow[j] *= ip
-	}
-	for i := 0; i < m; i++ {
-		if i == leaveRow {
-			continue
-		}
-		f := d[i]
-		if f == 0 {
-			continue
-		}
-		row := st.binv[i*m : i*m+m]
-		for j := 0; j < m; j++ {
-			row[j] -= f * lrow[j]
-		}
+	st.fac.update(leaveRow, d)
+	if _, _, etaLen := st.fac.stats(); etaLen > st.maxEtaLen {
+		st.maxEtaLen = etaLen
 	}
 	st.inB[st.basis[leaveRow]] = false
 	st.inB[enter] = true
@@ -443,7 +397,7 @@ func (st *simplexState) runPhase(cost []float64, phase1 bool) (Status, error) {
 				return StatusIterLimit, err
 			}
 		}
-		if sinceRefactor >= st.opts.RefactorEvery {
+		if st.needRefactor(sinceRefactor) {
 			if !st.refactor() {
 				return StatusIterLimit, ErrNumerical
 			}
@@ -614,7 +568,7 @@ func (st *simplexState) runDual(cost []float64) (Status, error) {
 				return StatusIterLimit, err
 			}
 		}
-		if sinceRefactor >= st.opts.RefactorEvery {
+		if st.needRefactor(sinceRefactor) {
 			if !st.refactor() {
 				return StatusIterLimit, ErrNumerical
 			}
@@ -649,7 +603,7 @@ func (st *simplexState) runDual(cost []float64) (Status, error) {
 			costB[i] = cost[st.basis[i]]
 		}
 		st.btran(costB, y)
-		copy(rho, st.binv[r*m:r*m+m])
+		st.fac.invRow(r, rho)
 
 		// Entering column: among columns with a negative pivot-row
 		// entry, the minimal reduced-cost ratio keeps dual feasibility;
@@ -745,12 +699,14 @@ func (st *simplexState) dualFeasible(cost []float64, tol float64) bool {
 func (st *simplexState) driveOutArtificials() {
 	m := st.m
 	d := make([]float64, m)
+	rho := make([]float64, m)
 	for i := 0; i < m; i++ {
 		if st.basis[i] < st.cm.nCols {
 			continue
 		}
 		// Find a nonbasic structural column with nonzero entry in row i
-		// of binv*A.
+		// of B⁻¹*A, priced against row i of the inverse.
+		st.fac.invRow(i, rho)
 		found := -1
 		for j := 0; j < st.cm.nCols && found < 0; j++ {
 			if st.inB[j] {
@@ -758,7 +714,7 @@ func (st *simplexState) driveOutArtificials() {
 			}
 			v := 0.0
 			for _, e := range st.cm.cols[j] {
-				v += st.binv[i*m+e.row] * e.val
+				v += rho[e.row] * e.val
 			}
 			if math.Abs(v) > 1e-7 {
 				found = j
@@ -814,6 +770,7 @@ func (cm *Compiled) Solve(opts Options) (*Solution, error) {
 			if err == nil && sol != nil {
 				stats.WarmHit = true
 				stats.Phase1Iters, stats.Phase2Iters, stats.DualIters = st.p1Iters, st.p2Iters, st.dualIters
+				st.fillFactorStats(&stats)
 				stats.SolveTime = time.Since(startTime)
 				sol.Stats = stats
 				return sol, nil
@@ -866,6 +823,7 @@ func (cm *Compiled) Solve(opts Options) (*Solution, error) {
 		return nil, st.abortErr(err)
 	}
 	stats.Phase1Iters, stats.Phase2Iters, stats.DualIters = st.p1Iters, st.p2Iters, st.dualIters
+	st.fillFactorStats(&stats)
 	stats.SolveTime = time.Since(startTime)
 	sol.Stats = stats
 	return sol, nil
@@ -884,17 +842,24 @@ func (cm *Compiled) solveWarm(st *simplexState) (*Solution, error) {
 	m := st.m
 	// Normalize artificial signs so every basic artificial sits at a
 	// nonnegative value: flipping an artificial column's sign scales
-	// the matching binv row and basic value by -1.
+	// the matching B⁻¹ row and basic value by -1. The dense backend
+	// applies the flip in place; a backend that cannot (sparse LU)
+	// reports false and the state refactorizes over the new signs,
+	// which recomputes the same flipped values.
+	needRebuild := false
 	for i := 0; i < m; i++ {
 		if j := st.basis[i]; j >= cm.nCols && st.xB[i] < 0 {
 			r := j - cm.nCols
 			st.artSign[r] = -st.artSign[r]
-			row := st.binv[i*m : i*m+m]
-			for k := range row {
-				row[k] = -row[k]
+			if st.fac.negateRow(i) {
+				st.xB[i] = -st.xB[i]
+			} else {
+				needRebuild = true
 			}
-			st.xB[i] = -st.xB[i]
 		}
+	}
+	if needRebuild && !st.refactor() {
+		return nil, nil
 	}
 
 	artBad, primalBad := false, false

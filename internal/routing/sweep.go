@@ -2,6 +2,7 @@ package routing
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"math"
 	"runtime"
@@ -38,6 +39,14 @@ type SweepStats struct {
 	Fallbacks int
 	// MaxRank is the largest rank-k correction served by the SMW path.
 	MaxRank int
+	// BatchHits counts scenarios whose SMW capacitance factorization
+	// was reused from another scenario with the same update-column
+	// signature (scenarios sharing dead-link structure). Approximate
+	// under concurrency: racing workers may each factor a group once.
+	BatchHits int
+	// SparseBase records that the base reservation matrix was factored
+	// sparsely (Markowitz LU) instead of densely.
+	SparseBase bool
 	// Total is the wall clock of the whole sweep.
 	Total time.Duration
 }
@@ -56,12 +65,18 @@ func (s SweepStats) SMWHitRate() float64 {
 // milliseconds). The keys are the one vocabulary for validation-sweep
 // statistics everywhere they surface.
 func (s SweepStats) Metrics() map[string]float64 {
+	sparse := 0.0
+	if s.SparseBase {
+		sparse = 1
+	}
 	return map[string]float64{
 		"scenarios":           float64(s.Scenarios),
 		"workers":             float64(s.Workers),
 		"smw_hits":            float64(s.SMWHits),
 		"fallbacks":           float64(s.Fallbacks),
 		"max_rank":            float64(s.MaxRank),
+		"batch_hits":          float64(s.BatchHits),
+		"sparse_base":         sparse,
 		"smw_hit_rate":        s.SMWHitRate(),
 		"base_factor_time_ms": float64(s.BaseFactorTime) / float64(time.Millisecond),
 		"total_ms":            float64(s.Total) / float64(time.Millisecond),
@@ -90,6 +105,16 @@ type sweepLS struct {
 // scenario is then realized as a sparse rank-k row correction via
 // Sherman–Morrison–Woodbury, falling back to the cold path when the
 // correction is too large or numerically suspect.
+//
+// At sweepSparseMin universe rows and above the base switches to a
+// sparse representation: Markowitz LU instead of dense factorization,
+// inverse columns solved lazily per updated row instead of all n up
+// front, and row deltas merged against sparse base rows instead of
+// dense scans — the same answers (bit-equal coefficient construction,
+// property-tested 1e-9 agreement) without the O(n²) memory and O(n³)
+// precompute. Independently of the representation, SMW correctors are
+// batched: scenarios with identical update signatures share one
+// capacitance factorization.
 type Sweep struct {
 	plan *core.Plan
 
@@ -110,11 +135,19 @@ type Sweep struct {
 	checkWant map[topology.NodeID][]float64 // dst -> per-node balance targets
 
 	baseInSet []bool
-	baseMat   []float64
-	lu        *linsolve.LU // nil: engine is cold-only (base matrix unusable)
-	invCols   [][]float64  // invCols[r] = column r of the base inverse
-	uBase     []float64    // base aggregate solution A⁻¹D
-	destBase  [][]float64  // base per-destination solutions A⁻¹D_t
+	baseMat   []float64                // dense base rows (nil on the sparse path)
+	baseRows  [][]linsolve.SparseEntry // sparse base rows, ascending column (sparse path only)
+	lu        *linsolve.LU             // nil: engine is cold-only or sparse
+	slu       *linsolve.SparseLU       // sparse base factorization (nil on the dense path)
+	invCols   [][]float64              // dense path: invCols[r] = column r of the base inverse
+	invCache  sync.Map                 // sparse path: int row -> []float64 inverse column, computed lazily
+	uBase     []float64                // base aggregate solution A⁻¹D
+	destBase  [][]float64              // base per-destination solutions A⁻¹D_t
+
+	// batches caches SMW correctors keyed by the byte signature of the
+	// scenario's row updates, so scenarios sharing dead-link structure
+	// factor the capacitance block once (string -> *batchEntry).
+	batches sync.Map
 
 	baseTime time.Duration
 	pool     sync.Pool
@@ -123,7 +156,22 @@ type Sweep struct {
 	smwHits   atomic.Int64
 	fallbacks atomic.Int64
 	maxRank   atomic.Int64
+	batchHits atomic.Int64
 }
+
+// batchEntry is one memoized SMW corrector (or the error its
+// construction produced — cached too, so an ill-conditioned group
+// falls back cold without refactoring the capacitance every time).
+type batchEntry struct {
+	upd *linsolve.Updated
+	err error
+}
+
+// sweepSparseMin is the universe size at and above which the base
+// reservation matrix is built and factored sparsely (Markowitz LU,
+// lazy inverse columns) instead of densely. A package variable so
+// equivalence tests can force the sparse path on small topologies.
+var sweepSparseMin = 192
 
 // SweepUpdateFault, when non-nil, is consulted once per rank-k SMW
 // update, before the update is applied; returning an error forces the
@@ -306,39 +354,130 @@ func NewSweepContext(ctx context.Context, plan *core.Plan) (*Sweep, error) {
 	// in-set row references their column, so the in-set block solves
 	// exactly as the cold path's smaller system.
 	s.baseInSet = s.membership(noFailureActivity(s.ls))
-	s.baseMat = make([]float64, n*n)
+	sparse := n >= sweepSparseMin
 	diagOK := true
-	for r := 0; r < n; r++ {
-		if !s.baseInSet[r] {
-			s.baseMat[r*n+r] = 1
-			continue
-		}
-		diag := 0.0
-		for _, tid := range s.pairTun[r] {
-			diag += plan.TunnelRes[tid]
-		}
-		for _, qi := range s.localLS[r] {
-			if s.ls[qi].baseActive {
-				diag += s.ls[qi].res
-			}
-		}
-		if diag <= 1e-12 {
-			diagOK = false
-		}
-		s.baseMat[r*n+r] += diag
-		for _, qi := range s.throughLS[r] {
-			e := &s.ls[qi]
-			if !e.baseActive || e.pairRow < 0 || !s.baseInSet[e.pairRow] {
+	if sparse {
+		// Sparse base rows, ascending column, with per-column sums
+		// accumulated in the same order as the dense build so both
+		// representations hold bit-identical coefficients.
+		s.baseRows = make([][]linsolve.SparseEntry, n)
+		vals := make([]float64, n)
+		mark := make([]int32, n)
+		var stamp int32
+		var touched []int
+		for r := 0; r < n; r++ {
+			if !s.baseInSet[r] {
+				s.baseRows[r] = []linsolve.SparseEntry{{Col: r, Val: 1}}
 				continue
 			}
-			s.baseMat[r*n+e.pairRow] -= e.res
+			diag := 0.0
+			for _, tid := range s.pairTun[r] {
+				diag += plan.TunnelRes[tid]
+			}
+			for _, qi := range s.localLS[r] {
+				if s.ls[qi].baseActive {
+					diag += s.ls[qi].res
+				}
+			}
+			if diag <= 1e-12 {
+				diagOK = false
+			}
+			stamp++
+			touched = touched[:0]
+			acc := func(c int, v float64) {
+				if mark[c] != stamp {
+					mark[c] = stamp
+					vals[c] = 0
+					touched = append(touched, c)
+				}
+				vals[c] += v
+			}
+			acc(r, diag)
+			for _, qi := range s.throughLS[r] {
+				e := &s.ls[qi]
+				if !e.baseActive || e.pairRow < 0 || !s.baseInSet[e.pairRow] {
+					continue
+				}
+				acc(e.pairRow, -e.res)
+			}
+			sort.Ints(touched)
+			row := make([]linsolve.SparseEntry, 0, len(touched))
+			for _, c := range touched {
+				if vals[c] != 0 {
+					row = append(row, linsolve.SparseEntry{Col: c, Val: vals[c]})
+				}
+			}
+			s.baseRows[r] = row
+		}
+	} else {
+		s.baseMat = make([]float64, n*n)
+		for r := 0; r < n; r++ {
+			if !s.baseInSet[r] {
+				s.baseMat[r*n+r] = 1
+				continue
+			}
+			diag := 0.0
+			for _, tid := range s.pairTun[r] {
+				diag += plan.TunnelRes[tid]
+			}
+			for _, qi := range s.localLS[r] {
+				if s.ls[qi].baseActive {
+					diag += s.ls[qi].res
+				}
+			}
+			if diag <= 1e-12 {
+				diagOK = false
+			}
+			s.baseMat[r*n+r] += diag
+			for _, qi := range s.throughLS[r] {
+				e := &s.ls[qi]
+				if !e.baseActive || e.pairRow < 0 || !s.baseInSet[e.pairRow] {
+					continue
+				}
+				s.baseMat[r*n+e.pairRow] -= e.res
+			}
 		}
 	}
 
 	if err := stop(); err != nil {
 		return nil, err
 	}
-	if n > 0 && diagOK {
+	if n > 0 && diagOK && sparse {
+		// Sparse path: Markowitz LU of the sparse rows, base solutions
+		// via the factors, inverse columns computed lazily per updated
+		// row during the sweep instead of n dense solves up front.
+		if slu, err := linsolve.FactorSparseRows(s.baseRows, n); err == nil {
+			s.slu = slu
+			ok := true
+			w := make([]float64, n)
+			s.uBase = make([]float64, n)
+			if err := slu.SolveIntoScratch(s.uBase, s.demand, w); err != nil {
+				ok = false
+			}
+			s.destBase = make([][]float64, len(s.dests))
+			dt := make([]float64, n)
+			for di, dst := range s.dests {
+				if di%32 == 0 {
+					if err := stop(); err != nil {
+						return nil, err
+					}
+				}
+				for r, p := range s.pairs {
+					dt[r] = 0
+					if p.Dst == dst {
+						dt[r] = plan.ScaledDemand(p)
+					}
+				}
+				s.destBase[di] = make([]float64, n)
+				if err := slu.SolveIntoScratch(s.destBase[di], dt, w); err != nil {
+					ok = false
+				}
+			}
+			if !ok {
+				s.slu = nil
+			}
+		}
+	} else if n > 0 && diagOK {
 		if lu, err := linsolve.Factor(s.baseMat, n); err == nil {
 			s.lu = lu
 			s.invCols = make([][]float64, n)
@@ -477,11 +616,62 @@ func (s *Sweep) BaseFactorTime() time.Duration { return s.baseTime }
 // through Realize and the internal sweep loops).
 func (s *Sweep) Stats() SweepStats {
 	return SweepStats{
-		Scenarios: int(s.served.Load()),
-		SMWHits:   int(s.smwHits.Load()),
-		Fallbacks: int(s.fallbacks.Load()),
-		MaxRank:   int(s.maxRank.Load()),
+		Scenarios:  int(s.served.Load()),
+		SMWHits:    int(s.smwHits.Load()),
+		Fallbacks:  int(s.fallbacks.Load()),
+		MaxRank:    int(s.maxRank.Load()),
+		BatchHits:  int(s.batchHits.Load()),
+		SparseBase: s.slu != nil,
 	}
+}
+
+// invCol returns column r of the base inverse. The dense path
+// precomputes all n columns; the sparse path solves them on demand and
+// memoizes, so only the rows scenarios actually touch are ever solved.
+// Racing workers may solve the same column concurrently — the solve is
+// deterministic, so whichever copy wins the store is interchangeable.
+func (s *Sweep) invCol(r int) ([]float64, error) {
+	if s.slu == nil {
+		return s.invCols[r], nil
+	}
+	if v, ok := s.invCache.Load(r); ok {
+		return v.([]float64), nil
+	}
+	n := s.n
+	e := make([]float64, n)
+	w := make([]float64, n)
+	col := make([]float64, n)
+	e[r] = 1
+	if err := s.slu.SolveIntoScratch(col, e, w); err != nil {
+		return nil, err
+	}
+	v, _ := s.invCache.LoadOrStore(r, col)
+	return v.([]float64), nil
+}
+
+// upsKey serializes a scenario's row updates into the byte signature
+// that batches SMW corrections: scenarios whose failed links produce
+// the same rows, columns, and bit-identical delta values share one
+// capacitance factorization.
+func upsKey(ups []linsolve.RowUpdate) string {
+	sz := 0
+	for _, up := range ups {
+		sz += 2*binary.MaxVarintLen64 + len(up.Cols)*2*binary.MaxVarintLen64
+	}
+	b := make([]byte, 0, sz)
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		b = append(b, tmp[:binary.PutUvarint(tmp[:], v)]...)
+	}
+	for _, up := range ups {
+		put(uint64(up.Row))
+		put(uint64(len(up.Cols)))
+		for t, c := range up.Cols {
+			put(uint64(c))
+			put(math.Float64bits(up.Vals[t]))
+		}
+	}
+	return string(b)
 }
 
 // sweepScratch is per-worker mutable state, so the read-only Sweep can
@@ -496,7 +686,18 @@ type sweepScratch struct {
 	lsActive []bool
 	rowVals  []float64
 	rows     []int
+	touched  []int // columns touched while building one row's delta
 	x, xt    []float64
+	// k-sized SMW correction scratch (grown on demand), so shared
+	// batched correctors stay read-only across workers.
+	smwZ, smwY []float64
+	// Per-destination tunnel-flow accumulation: dense per-tunnel sums
+	// with epoch marks, so the output map is built presized instead of
+	// grown entry by entry.
+	tunEpoch int32
+	tunMark  []int32
+	tunFlow  []float64
+	tunTouch []tunnels.ID
 }
 
 func (s *Sweep) newScratch() *sweepScratch {
@@ -508,8 +709,12 @@ func (s *Sweep) newScratch() *sweepScratch {
 		lsActive: make([]bool, len(s.ls)),
 		rowVals:  make([]float64, s.n),
 		rows:     make([]int, 0, s.n),
+		touched:  make([]int, 0, 16),
 		x:        make([]float64, s.n),
 		xt:       make([]float64, s.n),
+		tunMark:  make([]int32, s.numTun),
+		tunFlow:  make([]float64, s.numTun),
+		tunTouch: make([]tunnels.ID, 0, 16),
 	}
 }
 
@@ -649,10 +854,12 @@ func (s *Sweep) realize(sc failures.Scenario, sr *sweepScratch) (*Realization, b
 		nowIn := sr.inSet[r] == ep
 		sr.colEpoch++
 		ce := sr.colEpoch
+		touched := sr.touched[:0]
 		touch := func(c int, v float64) {
 			if sr.colMark[c] != ce {
 				sr.colMark[c] = ce
 				sr.rowVals[c] = 0
+				touched = append(touched, c)
 			}
 			sr.rowVals[c] += v
 		}
@@ -685,19 +892,49 @@ func (s *Sweep) realize(sc failures.Scenario, sr *sweepScratch) (*Realization, b
 				touch(e.pairRow, -e.res)
 			}
 		}
-		base := s.baseMat[r*n : (r+1)*n]
 		var cols []int
 		var vals []float64
-		for c := 0; c < n; c++ {
-			t := 0.0
-			if sr.colMark[c] == ce {
-				t = sr.rowVals[c]
+		if s.baseMat != nil {
+			base := s.baseMat[r*n : (r+1)*n]
+			for c := 0; c < n; c++ {
+				t := 0.0
+				if sr.colMark[c] == ce {
+					t = sr.rowVals[c]
+				}
+				if d := t - base[c]; d != 0 {
+					cols = append(cols, c)
+					vals = append(vals, d)
+				}
 			}
-			if d := t - base[c]; d != 0 {
-				cols = append(cols, c)
-				vals = append(vals, d)
+		} else {
+			// Sparse base: merge the touched columns with the base row's
+			// entries, ascending — every other column has t = base = 0.
+			sort.Ints(touched)
+			base := s.baseRows[r]
+			bi := 0
+			emit := func(c int, d float64) {
+				if d != 0 {
+					cols = append(cols, c)
+					vals = append(vals, d)
+				}
+			}
+			for _, c := range touched {
+				for bi < len(base) && base[bi].Col < c {
+					emit(base[bi].Col, -base[bi].Val)
+					bi++
+				}
+				b := 0.0
+				if bi < len(base) && base[bi].Col == c {
+					b = base[bi].Val
+					bi++
+				}
+				emit(c, sr.rowVals[c]-b)
+			}
+			for ; bi < len(base); bi++ {
+				emit(base[bi].Col, -base[bi].Val)
 			}
 		}
+		sr.touched = touched
 		if len(cols) > 0 {
 			ups = append(ups, linsolve.RowUpdate{Row: r, Cols: cols, Vals: vals})
 			upScale = append(upScale, scale)
@@ -705,7 +942,7 @@ func (s *Sweep) realize(sc failures.Scenario, sr *sweepScratch) (*Realization, b
 	}
 
 	k := len(ups)
-	if s.lu == nil || 2*k > n {
+	if (s.lu == nil && s.slu == nil) || 2*k > n {
 		r, err := Realize(s.plan, sc)
 		return r, false, 0, err
 	}
@@ -718,22 +955,49 @@ func (s *Sweep) realize(sc failures.Scenario, sr *sweepScratch) (*Realization, b
 				return r, false, 0, err
 			}
 		}
-		cols := make([][]float64, k)
-		for j, up := range ups {
-			cols[j] = s.invCols[up.Row]
+		// Scenarios with the same update signature (same dead-link
+		// structure) share one capacitance factorization. Errors are
+		// memoized too: an ill-conditioned group falls back cold once
+		// per scenario without refactoring its capacitance each time.
+		key := upsKey(ups)
+		var be *batchEntry
+		if v, ok := s.batches.Load(key); ok {
+			s.batchHits.Add(1)
+			be = v.(*batchEntry)
+		} else {
+			cols := make([][]float64, k)
+			var err error
+			for j, up := range ups {
+				if cols[j], err = s.invCol(up.Row); err != nil {
+					break
+				}
+			}
+			if err != nil {
+				be = &batchEntry{err: err}
+			} else if u, uerr := linsolve.NewUpdated(n, ups, cols); uerr != nil {
+				be = &batchEntry{err: uerr}
+			} else {
+				be = &batchEntry{upd: u}
+			}
+			if v, loaded := s.batches.LoadOrStore(key, be); loaded {
+				be = v.(*batchEntry)
+			}
 		}
-		var err error
-		upd, err = s.lu.RankUpdateCols(ups, cols)
-		if err != nil {
+		if be.err != nil {
 			r, err := Realize(s.plan, sc)
 			return r, false, 0, err
+		}
+		upd = be.upd
+		if cap(sr.smwZ) < k {
+			sr.smwZ = make([]float64, k)
+			sr.smwY = make([]float64, k)
 		}
 	}
 
 	// Aggregate system: correct the precomputed base solution.
 	x := s.uBase
 	if k > 0 {
-		if err := upd.CorrectInto(sr.x, s.uBase); err != nil {
+		if err := upd.CorrectIntoScratch(sr.x, s.uBase, sr.smwZ[:k], sr.smwY[:k]); err != nil {
 			return nil, false, 0, fmt.Errorf("routing: aggregate system under %v: %w", sc, err)
 		}
 		x = sr.x
@@ -741,11 +1005,17 @@ func (s *Sweep) realize(sc failures.Scenario, sr *sweepScratch) (*Realization, b
 		// lost accuracy, refactorize cold rather than return drift.
 		for j, up := range ups {
 			r := up.Row
-			base := s.baseMat[r*n : (r+1)*n]
 			acc := -s.demand[r]
-			for c, bv := range base {
-				if bv != 0 {
-					acc += bv * x[c]
+			if s.baseMat != nil {
+				base := s.baseMat[r*n : (r+1)*n]
+				for c, bv := range base {
+					if bv != 0 {
+						acc += bv * x[c]
+					}
+				}
+			} else {
+				for _, e := range s.baseRows[r] {
+					acc += e.Val * x[e.Col]
 				}
 			}
 			for t, c := range up.Cols {
@@ -779,12 +1049,14 @@ func (s *Sweep) realize(sc failures.Scenario, sr *sweepScratch) (*Realization, b
 	for di, dst := range s.dests {
 		xt := s.destBase[di]
 		if k > 0 {
-			if err := upd.CorrectInto(sr.xt, s.destBase[di]); err != nil {
+			if err := upd.CorrectIntoScratch(sr.xt, s.destBase[di], sr.smwZ[:k], sr.smwY[:k]); err != nil {
 				return nil, false, 0, fmt.Errorf("routing: destination %d system under %v: %w", dst, sc, err)
 			}
 			xt = sr.xt
 		}
-		flows := map[tunnels.ID]float64{}
+		sr.tunEpoch++
+		tep := sr.tunEpoch
+		touchedTun := sr.tunTouch[:0]
 		for r := 0; r < n; r++ {
 			if sr.inSet[r] != ep || xt[r] <= 1e-12 {
 				continue
@@ -797,12 +1069,22 @@ func (s *Sweep) realize(sc failures.Scenario, sr *sweepScratch) (*Realization, b
 				if rr <= 1e-12 {
 					continue
 				}
-				flows[tid] += rr
+				if sr.tunMark[tid] != tep {
+					sr.tunMark[tid] = tep
+					sr.tunFlow[tid] = 0
+					touchedTun = append(touchedTun, tid)
+				}
+				sr.tunFlow[tid] += rr
 				for _, a := range in.Tunnels.Tunnel(tid).Path.Arcs {
 					res.ArcLoad[a] += rr
 				}
 			}
 		}
+		flows := make(map[tunnels.ID]float64, len(touchedTun))
+		for _, tid := range touchedTun {
+			flows[tid] = sr.tunFlow[tid]
+		}
+		sr.tunTouch = touchedTun
 		res.TunnelTo[dst] = flows
 	}
 	return res, true, k, nil
@@ -850,6 +1132,7 @@ func runSweep(ctx context.Context, plan *core.Plan, opts ValidateOptions, check 
 			return nil, nil, stats, err
 		}
 		stats.BaseFactorTime = sw.baseTime
+		stats.SparseBase = sw.slu != nil
 	}
 
 	workers := sweepWorkerCount()
@@ -938,6 +1221,9 @@ func runSweep(ctx context.Context, plan *core.Plan, opts ValidateOptions, check 
 		if ws.MaxRank > stats.MaxRank {
 			stats.MaxRank = ws.MaxRank
 		}
+	}
+	if sw != nil {
+		stats.BatchHits = int(sw.batchHits.Load())
 	}
 	stats.Total = time.Since(start)
 	return scenarios, slots, stats, nil

@@ -1,0 +1,141 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"pcf/internal/core"
+	"pcf/internal/failures"
+)
+
+// forceSparseSweep lowers the sparse threshold so every test topology
+// takes the sparse base path, restoring it afterwards.
+func forceSparseSweep(t *testing.T) {
+	t.Helper()
+	old := sweepSparseMin
+	sweepSparseMin = 1
+	t.Cleanup(func() { sweepSparseMin = old })
+}
+
+// TestSweepSparseMatchesCold replays the full cold-equivalence suite
+// with the sparse base representation forced on, on the same plans the
+// dense path is property-tested against — the tentpole's contract that
+// the representation never changes an answer beyond 1e-9.
+func TestSweepSparseMatchesCold(t *testing.T) {
+	forceSparseSweep(t)
+	plans := []struct {
+		name string
+		plan *core.Plan
+	}{
+		{"fig1-f1", fig1Plan(t, 1)},
+		{"fig1-f2", fig1Plan(t, 2)},
+		{"fig4", fig4LSPlan(t, 3, 2, 3, 1)},
+		{"fig5-cls", fig5CLSPlan(t)},
+	}
+	for _, tc := range plans {
+		sw := NewSweep(tc.plan)
+		if sw.slu == nil {
+			t.Fatalf("%s: sparse base did not engage (lu=%v)", tc.name, sw.lu != nil)
+		}
+		if !sw.Stats().SparseBase {
+			t.Fatalf("%s: Stats does not report SparseBase", tc.name)
+		}
+		assertSweepMatchesCold(t, tc.plan)
+	}
+}
+
+// TestSweepSparseMatchesDense compares the sparse and dense engines
+// scenario by scenario on one plan: same verdicts, same U vectors and
+// arc loads to 1e-9 relative (the factorizations pivot differently, so
+// bit equality is not expected — the agreement contract is).
+func TestSweepSparseMatchesDense(t *testing.T) {
+	plan := fig5CLSPlan(t)
+	dense := NewSweep(plan)
+	forceSparseSweep(t)
+	sparse := NewSweep(plan)
+	if dense.slu != nil || sparse.slu == nil {
+		t.Fatalf("paths not distinct: dense slu=%v, sparse slu=%v", dense.slu != nil, sparse.slu != nil)
+	}
+	relOK := func(got, want float64) bool {
+		d := math.Abs(got - want)
+		if s := math.Abs(want); s > 1 {
+			d /= s
+		}
+		return d <= 1e-9
+	}
+	plan.Instance.Failures.Enumerate(func(sc failures.Scenario) bool {
+		rd, errD := dense.Realize(sc)
+		rs, errS := sparse.Realize(sc)
+		if (errD == nil) != (errS == nil) {
+			t.Fatalf("under %v: dense err %v, sparse err %v", sc, errD, errS)
+		}
+		if errD != nil {
+			return true
+		}
+		if len(rd.U) != len(rs.U) {
+			t.Fatalf("under %v: %d sparse pairs, %d dense", sc, len(rs.U), len(rd.U))
+		}
+		for i := range rd.U {
+			if !relOK(rs.U[i], rd.U[i]) {
+				t.Fatalf("under %v: U[%v] sparse %.15g, dense %.15g", sc, rd.Pairs[i], rs.U[i], rd.U[i])
+			}
+		}
+		for a := range rd.ArcLoad {
+			if !relOK(rs.ArcLoad[a], rd.ArcLoad[a]) {
+				t.Fatalf("under %v: ArcLoad[%d] sparse %.15g, dense %.15g", sc, a, rs.ArcLoad[a], rd.ArcLoad[a])
+			}
+		}
+		return true
+	})
+}
+
+// TestSweepBatchReuse pins the SMW batching: replaying the same
+// scenario set twice through one engine must serve the second pass's
+// rank-k updates from the signature cache.
+func TestSweepBatchReuse(t *testing.T) {
+	plan := fig5CLSPlan(t)
+	sw := NewSweep(plan)
+	pass := func() {
+		plan.Instance.Failures.Enumerate(func(sc failures.Scenario) bool {
+			if _, err := sw.Realize(sc); err != nil {
+				t.Fatalf("under %v: %v", sc, err)
+			}
+			return true
+		})
+	}
+	pass()
+	first := sw.Stats().BatchHits
+	pass()
+	st := sw.Stats()
+	if st.BatchHits <= first {
+		t.Fatalf("replay produced no batch hits: first pass %d, after replay %d", first, st.BatchHits)
+	}
+	if st.MaxRank == 0 {
+		t.Fatal("no rank-k update ever built — batching untested")
+	}
+}
+
+// TestSweepStatsSparseMetrics checks the new stats surface through
+// ValidateStats and the Metrics vocabulary.
+func TestSweepStatsSparseMetrics(t *testing.T) {
+	forceSparseSweep(t)
+	plan := fig1Plan(t, 1)
+	st, err := ValidateStats(nil, plan, ValidateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.SparseBase {
+		t.Fatalf("SparseBase not set: %+v", st)
+	}
+	m := st.Metrics()
+	//lint:ignore pcflint/floatcmp the metric encodes a boolean exactly
+	if m["sparse_base"] != 1 {
+		t.Fatalf("sparse_base metric = %g, want 1", m["sparse_base"])
+	}
+	if _, ok := m["batch_hits"]; !ok {
+		t.Fatal("batch_hits metric missing")
+	}
+	if m["batch_hits"] < 0 {
+		t.Fatalf("batch_hits = %g", m["batch_hits"])
+	}
+}

@@ -50,7 +50,7 @@ type Bucket struct {
 	// bucket width).
 	Start time.Time `json:"start,omitempty"`
 	// Group is the GroupBy dimension's value ("" without grouping).
-	Group string `json:"group,omitempty"`
+	Group string  `json:"group,omitempty"`
 	Count int     `json:"count"`
 	Sum   float64 `json:"sum"`
 	Min   float64 `json:"min"`

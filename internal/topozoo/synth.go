@@ -1,0 +1,141 @@
+package topozoo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pcf/internal/topology"
+)
+
+// SynthKinds lists the synthetic topology families Synth accepts.
+var SynthKinds = []string{"waxman", "ring-of-rings"}
+
+// Synth synthesizes a large seeded topology for scaling experiments —
+// the 1k–10k node regime where the sparse sweep and factorization
+// paths matter and Table 3 graphs are too small. Both families are
+// 2-edge-connected by construction (every edge lies on a cycle), so no
+// single link failure disconnects them, and fully deterministic per
+// (kind, nodes, seed): the same arguments always produce the same
+// graph, node for node and link for link.
+//
+//   - "waxman": nodes on a circle joined by a Hamiltonian ring, plus
+//     chords accepted with the Waxman probability
+//     α·exp(−d/(β·L)) — locality-biased random graphs, the classic
+//     synthetic-WAN model. Average degree ≈ 4.
+//   - "ring-of-rings": ⌈√nodes⌉-ish local rings stitched by a backbone
+//     ring through one gateway per local ring — a hierarchical
+//     metro/backbone shape with strong locality and high diameter.
+func Synth(kind string, nodes int, seed int64) (*topology.Graph, error) {
+	if nodes < 4 {
+		return nil, fmt.Errorf("topozoo: synthetic topology needs >= 4 nodes, got %d", nodes)
+	}
+	switch kind {
+	case "waxman":
+		return synthWaxman(nodes, seed), nil
+	case "ring-of-rings":
+		return synthRingOfRings(nodes, seed), nil
+	}
+	return nil, fmt.Errorf("topozoo: unknown synthetic kind %q (have %v)", kind, SynthKinds)
+}
+
+// synthWaxman: Hamiltonian ring over nodes placed uniformly at random
+// on the unit square, plus Waxman chords until average degree 4.
+func synthWaxman(n int, seed int64) *topology.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := topology.New(fmt.Sprintf("waxman-%d-%d", n, seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("w%d", i))
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	have := make(map[[2]int]bool, 2*n)
+	addLink := func(a, b int, cap float64) bool {
+		if a == b {
+			return false
+		}
+		key := [2]int{min(a, b), max(a, b)}
+		if have[key] {
+			return false
+		}
+		have[key] = true
+		g.AddLink(topology.NodeID(a), topology.NodeID(b), cap)
+		return true
+	}
+	for i := 0; i < n; i++ {
+		addLink(i, (i+1)%n, linkSpeeds[rng.Intn(len(linkSpeeds))])
+	}
+	// Waxman chords: P(u,v) = α·exp(−d/(β·L)), L = √2 on the unit
+	// square. α=0.9, β=0.18 bias strongly toward short links, the shape
+	// of real WAN meshes.
+	const alpha, beta = 0.9, 0.18
+	maxDist := math.Sqrt2
+	target := 2 * n // average degree 4
+	if most := n * (n - 1) / 2; target > most {
+		target = most // tiny n: the complete graph caps the chord count
+	}
+	for g.NumLinks() < target {
+		a := rng.Intn(n)
+		b := rng.Intn(n)
+		if a == b {
+			continue
+		}
+		d := math.Hypot(xs[a]-xs[b], ys[a]-ys[b])
+		if rng.Float64() < alpha*math.Exp(-d/(beta*maxDist)) {
+			addLink(a, b, linkSpeeds[rng.Intn(len(linkSpeeds))])
+		}
+	}
+	return g
+}
+
+// synthRingOfRings: local rings of ~√n nodes, one gateway each, all
+// gateways joined by a high-capacity backbone ring.
+func synthRingOfRings(n int, seed int64) *topology.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := topology.New(fmt.Sprintf("ring-of-rings-%d-%d", n, seed))
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("r%d", i))
+	}
+	groups := int(math.Round(math.Sqrt(float64(n))))
+	if groups < 2 {
+		groups = 2
+	}
+	// Contiguous node ranges per group (sizes differ by at most one).
+	starts := make([]int, groups+1)
+	for k := 0; k <= groups; k++ {
+		starts[k] = k * n / groups
+	}
+	gateways := make([]int, groups)
+	for k := 0; k < groups; k++ {
+		gateways[k] = starts[k]
+	}
+	for k := 0; k < groups; k++ {
+		lo, hi := starts[k], starts[k+1]
+		size := hi - lo
+		if size == 1 {
+			continue
+		}
+		if size == 2 {
+			// A ring of two would be a doubled link; one local link plus a
+			// tie to the next gateway closes a cycle through the backbone.
+			g.AddLink(topology.NodeID(lo), topology.NodeID(lo+1), linkSpeeds[rng.Intn(len(linkSpeeds))])
+			g.AddLink(topology.NodeID(lo+1), topology.NodeID(gateways[(k+1)%groups]), linkSpeeds[rng.Intn(len(linkSpeeds))])
+			continue
+		}
+		for i := lo; i < hi; i++ {
+			j := i + 1
+			if j == hi {
+				j = lo
+			}
+			g.AddLink(topology.NodeID(i), topology.NodeID(j), linkSpeeds[rng.Intn(len(linkSpeeds))])
+		}
+	}
+	// Backbone ring through the gateways, fat links.
+	const backboneCap = 100
+	for k := 0; k < groups; k++ {
+		g.AddLink(topology.NodeID(gateways[k]), topology.NodeID(gateways[(k+1)%groups]), backboneCap)
+	}
+	return g
+}

@@ -10,6 +10,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"pcf/internal/topology"
@@ -108,12 +109,10 @@ func sortPairsByDemand(pairs []topology.Pair, m *Matrix) {
 }
 
 func sortSlice(p []topology.Pair, less func(a, b topology.Pair) bool) {
-	// Simple binary insertion sort; matrices are small.
-	for i := 1; i < len(p); i++ {
-		for j := i; j > 0 && less(p[j], p[j-1]); j-- {
-			p[j], p[j-1] = p[j-1], p[j]
-		}
-	}
+	// The comparator is a total order (demand, then src, then dst), so
+	// an unstable sort is still deterministic. Synthetic topologies put
+	// ~n² positive pairs here; insertion sort does not survive that.
+	sort.Slice(p, func(i, j int) bool { return less(p[i], p[j]) })
 }
 
 // Restrict zeroes all demands not in keep and returns the copy.
