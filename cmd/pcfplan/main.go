@@ -43,6 +43,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "overall solve deadline (0 = none), e.g. 30s")
 	validate := flag.Bool("validate", false, "replay every scenario and verify the congestion-free property")
 	showRes := flag.Bool("reservations", false, "print per-tunnel reservations")
+	srlg := flag.String("srlg", "", "SRLG file: fail shared-risk link groups together instead of single links")
+	nodeFail := flag.String("node-failures", "", "fail nodes instead of links: comma-separated ids, or 'transit'")
 	telemetryDir := flag.String("telemetry", "", "append a solve record to this telemetry store directory")
 	flag.Parse()
 
@@ -83,6 +85,19 @@ func main() {
 	}
 	if err != nil {
 		die(err)
+	}
+	if *srlg != "" && *nodeFail != "" {
+		log.Fatal("-srlg and -node-failures are mutually exclusive")
+	}
+	if *srlg != "" {
+		if err := setup.ApplySRLGFile(*srlg); err != nil {
+			die(err)
+		}
+	}
+	if *nodeFail != "" {
+		if err := setup.ApplyNodeFailures(*nodeFail); err != nil {
+			die(err)
+		}
 	}
 	var telStore *telemetry.Store
 	if *telemetryDir != "" {

@@ -40,8 +40,9 @@ type model struct {
 	breakerScheme string
 	breakerLevel  int
 
-	lastSolve   *telemetry.Record
-	lastPublish *telemetry.Record
+	lastSolve    *telemetry.Record
+	lastPublish  *telemetry.Record
+	lastValidate *telemetry.Record
 
 	mlus []float64 // recent realized MLUs, oldest first
 }
@@ -73,6 +74,9 @@ func (m *model) observe(r telemetry.Record) {
 		if r.Scheme != "" {
 			m.scheme = r.Scheme
 		}
+	case telemetry.KindValidate:
+		rc := r
+		m.lastValidate = &rc
 	case telemetry.KindBreaker:
 		m.breakerScheme = r.Scheme
 		m.breakerLevel = r.Rung
@@ -178,6 +182,20 @@ func (m *model) render(addr string, now time.Time) string {
 		fmt.Fprintf(&b, "last publish: epoch %d", r.Epoch)
 		if v := r.Field("value"); v > 0 {
 			fmt.Fprintf(&b, ", value %.4f", v)
+		}
+		b.WriteString("\n")
+	}
+	if r := m.lastValidate; r != nil {
+		model := r.Name
+		if model == "" {
+			model = "exact"
+		}
+		fmt.Fprintf(&b, "last validate: %s model=%s, %.0f scenarios", r.OutcomeOrOK(), model, r.Field("scenarios"))
+		if v := r.Field("samples"); v > 0 {
+			// The sampled model's coverage bound, the same (ε, δ)
+			// statement the /v1/validate response carries.
+			fmt.Fprintf(&b, ", %.0f samples: P(unvalidated) <= %.3g at %.4g%% conf",
+				v, r.Field("epsilon"), 100*(1-r.Field("delta")))
 		}
 		b.WriteString("\n")
 	}

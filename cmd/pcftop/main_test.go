@@ -28,6 +28,8 @@ func TestModelRender(t *testing.T) {
 	}
 	m.observe(telemetry.Record{Time: at(12), Kind: telemetry.KindRequest, Name: "solve", Outcome: "shed"})
 	m.observe(telemetry.Record{Time: at(13), Kind: telemetry.KindBreaker, Scheme: "PCF-CLS", Rung: 2})
+	m.observe(telemetry.Record{Time: at(14), Kind: telemetry.KindValidate, Name: "sampled", Epoch: 7,
+		Fields: map[string]float64{"scenarios": 63, "samples": 40, "epsilon": 0.0123, "delta": 0.05}})
 
 	frame := m.render("http://test", at(20))
 	for _, want := range []string{
@@ -40,6 +42,7 @@ func TestModelRender(t *testing.T) {
 		"mlu 0.670",
 		"last solve: ok in 1.2s, 42 lp iters, sparse basis 7580 nnz fill 1.12 refactors 66 eta<=316",
 		"last publish: epoch 7, value 0.7227",
+		"last validate: ok model=sampled, 63 scenarios, 40 samples: P(unvalidated) <= 0.0123 at 95% conf",
 	} {
 		if !strings.Contains(frame, want) {
 			t.Errorf("frame missing %q:\n%s", want, frame)

@@ -35,6 +35,27 @@ type advSpec struct {
 	conds    map[lp.AdvVar]*Condition
 }
 
+// deathUnitsOf filters Set.UnitsOf down to units that kill their
+// links (Alpha == 0). Degrade units (Alpha > 0) leave their links
+// alive, so they never drive link or tunnel failure variables: a
+// scenario that spends part of its budget on degrade units kills a
+// subset of the tunnels the all-death scenario over the same death
+// units kills, and is therefore dominated inside the death-only
+// polytope. Degradation instead tightens the master's capacity rows
+// (effectiveCapacity in solve.go).
+func deathUnitsOf(fs *failures.Set, numLinks int) [][]int {
+	out := make([][]int, numLinks)
+	for ui, u := range fs.Units {
+		if u.Alpha > 0 {
+			continue
+		}
+		for _, l := range u.Links {
+			out[l] = append(out[l], ui)
+		}
+	}
+	return out
+}
+
 // scenarioPoint evaluates the adversary variables at an integral
 // failure scenario: the linearizations are exact at integral points,
 // so the result is a vertex of the polytope. Used to seed the
@@ -90,7 +111,7 @@ func (spec *advSpec) seedScenarios() []failures.Scenario {
 	if len(unitSet) == 0 {
 		// FFC-style specs have no explicit unit variables; derive the
 		// relevant units from the tunnels' links.
-		unitsOf := spec.in.Failures.UnitsOf(spec.in.Graph.NumLinks())
+		unitsOf := deathUnitsOf(spec.in.Failures, spec.in.Graph.NumLinks())
 		for tid := range spec.yIdx {
 			for _, l := range uniqueLinks(spec.in.Tunnels.Tunnel(tid).Path) {
 				for _, u := range unitsOf[l] {
@@ -182,7 +203,7 @@ func buildFFCAdversary(in *Instance, p topology.Pair, mv *masterVars) *advSpec {
 // tunnels.Set.MaxShared.
 func unitMaxShared(in *Instance, tun []tunnels.ID) int {
 	count := make(map[int]int)
-	unitsOf := in.Failures.UnitsOf(in.Graph.NumLinks())
+	unitsOf := deathUnitsOf(in.Failures, in.Graph.NumLinks())
 	for _, tid := range tun {
 		seen := map[int]bool{}
 		for _, l := range uniqueLinks(in.Tunnels.Tunnel(tid).Path) {
@@ -245,8 +266,11 @@ func baseLinkAdversary(in *Instance, p topology.Pair, tun []tunnels.ID,
 	}
 	sort.Slice(relLinks, func(i, j int) bool { return relLinks[i] < relLinks[j] })
 
-	// Failure-unit variables for units touching relevant links.
-	unitsOf := in.Failures.UnitsOf(in.Graph.NumLinks())
+	// Failure-unit variables for units touching relevant links. Only
+	// death units appear: degrade units cannot kill links or tunnels,
+	// so giving them adversary variables would only let a fractional
+	// adversary spend budget without flow-side effect.
+	unitsOf := deathUnitsOf(in.Failures, in.Graph.NumLinks())
 	unitVar := map[int]lp.AdvVar{}
 	var budget []lp.AdvTerm
 	for _, l := range relLinks {
@@ -282,10 +306,10 @@ func baseLinkAdversary(in *Instance, p topology.Pair, tun []tunnels.ID,
 		}
 	}
 
-	// Whether any failure unit groups several links (SRLGs, nodes).
+	// Whether any death unit groups several links (SRLGs, nodes).
 	multiUnit := false
 	for _, u := range in.Failures.Units {
-		if len(u.Links) > 1 {
+		if u.Alpha <= 0 && len(u.Links) > 1 {
 			multiUnit = true
 			break
 		}

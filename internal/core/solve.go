@@ -130,7 +130,14 @@ func buildMaster(in *Instance, withLS bool) (*lp.Model, *masterVars) {
 		m.SetObjective(obj, lp.Maximize)
 	}
 
-	// Capacity per arc: Σ_{l: arc ∈ l} a_l <= capacity (eq. 3).
+	// Capacity per arc: Σ_{l: arc ∈ l} a_l <= capacity (eq. 3), with
+	// the capacity tightened to what the link keeps under the worst
+	// single degradation it can suffer. Degraded links stay alive, so
+	// their tunnels keep their full reservations; the plan is
+	// congestion-free across degradation scenarios exactly when the
+	// reservations fit the degraded capacity. Because degrade units
+	// compose by min, the worst scale is achieved by one unit and the
+	// per-arc bound is exact for any budget >= 1 (failures.WorstCapScale).
 	perArc := make([][]lp.Var, in.Graph.NumArcs())
 	for _, p := range in.Tunnels.Pairs() {
 		for _, tid := range in.Tunnels.ForPair(p) {
@@ -147,8 +154,9 @@ func buildMaster(in *Instance, withLS bool) (*lp.Model, *masterVars) {
 		for _, v := range vars {
 			e.Add(1, v)
 		}
-		m.AddConstraintN(capPat.N(arc), e, lp.LE,
-			in.Graph.ArcCapacity(topology.ArcID(arc)))
+		rhs := in.Graph.ArcCapacity(topology.ArcID(arc)) *
+			in.Failures.WorstCapScale(topology.LinkOf(topology.ArcID(arc)))
+		m.AddConstraintN(capPat.N(arc), e, lp.LE, rhs)
 	}
 	return m, mv
 }

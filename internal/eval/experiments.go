@@ -77,6 +77,28 @@ type Config struct {
 	OptimalMaxLinks int
 	// CLSMode forwards to Options.CLSMode.
 	CLSMode string
+	// SRLGFile, when set, replaces every prepared setup's failure model
+	// with the shared-risk groups in the file (Setup.ApplySRLGFile) for
+	// the validation-facing experiments.
+	SRLGFile string
+	// NodeFailures, when set, replaces the failure model with node
+	// units ("3,5,9" or "transit"; Setup.ApplyNodeFailures).
+	NodeFailures string
+}
+
+// applyFailureModel rewrites the setup's failure set per the config's
+// -srlg / -node-failures knobs. At most one may be set.
+func (c Config) applyFailureModel(s *Setup) error {
+	if c.SRLGFile != "" && c.NodeFailures != "" {
+		return fmt.Errorf("eval: -srlg and -node-failures are mutually exclusive")
+	}
+	if c.SRLGFile != "" {
+		return s.ApplySRLGFile(c.SRLGFile)
+	}
+	if c.NodeFailures != "" {
+		return s.ApplyNodeFailures(c.NodeFailures)
+	}
+	return nil
 }
 
 // DefaultConfig is the laptop-scale configuration the checked-in
@@ -703,6 +725,9 @@ func ValidationSweep(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := cfg.applyFailureModel(setup); err != nil {
+			return nil, err
+		}
 		plan, err := core.SolvePCFTF(setup.instance(0), core.SolveOptions{})
 		if err != nil {
 			return nil, err
@@ -719,6 +744,70 @@ func ValidationSweep(cfg Config) (*Table, error) {
 			fmt.Sprintf("%d", st.MaxRank),
 			st.BaseFactorTime.Round(time.Microsecond).String(),
 			st.Total.Round(time.Millisecond).String(),
+		})
+	}
+	return t, nil
+}
+
+// DegradedVsBinary is the partial-capacity extension experiment
+// (DESIGN.md §18): on the reference topology it solves PCF-TF twice
+// per failure budget — once against the classical binary-death model,
+// once with every unit degrading its link to α of nominal capacity
+// instead of killing it — and reports the guaranteed demand scale and
+// the enumerated worst-case MLU of each, plus the adversarial search's
+// worst MLU on the degraded set as a cross-check (it must match the
+// enumeration to 1e-9 wherever enumeration is feasible).
+func DegradedVsBinary(cfg Config) (*Table, error) {
+	const alpha = 0.5
+	t := &Table{
+		Title: fmt.Sprintf("Degraded capacity vs binary death (%s, α=%.1f)", cfg.RefTopology, alpha),
+		Note:  "binary kills each failed unit's links; degraded halves their capacity instead",
+		Columns: []string{"f", "binary scale", "binary MLU",
+			"degraded scale", "degraded MLU", "search MLU", "search evals"},
+	}
+	for _, f := range []int{1, 2} {
+		setup, err := Prepare(Options{
+			Topology: cfg.RefTopology, Seed: 1, MaxPairs: cfg.pairCap(0),
+			FailureBudget: f, CLSMode: cfg.CLSMode,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := cfg.applyFailureModel(setup); err != nil {
+			return nil, err
+		}
+		binary := setup.Failures
+		degraded := binary.Degrade(alpha)
+
+		solve := func(fs *failures.Set) (*core.Plan, float64, error) {
+			in := &core.Instance{
+				Graph: setup.Graph, TM: setup.TM, Tunnels: setup.Tunnels,
+				Failures: fs, Objective: core.DemandScale,
+			}
+			plan, err := core.SolvePCFTF(in, core.SolveOptions{})
+			if err != nil {
+				return nil, 0, err
+			}
+			mlu, _, err := routing.WorstMLU(plan, routing.ValidateOptions{})
+			return plan, mlu, err
+		}
+		binPlan, binMLU, err := solve(binary)
+		if err != nil {
+			return nil, err
+		}
+		degPlan, degMLU, err := solve(degraded)
+		if err != nil {
+			return nil, err
+		}
+		res, err := routing.WorstMLUSearch(nil, degPlan, core.SearchOptions{Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", f),
+			f4(binPlan.Value), f4(binMLU),
+			f4(degPlan.Value), f4(degMLU),
+			f4(res.Value), fmt.Sprintf("%d", res.Evals),
 		})
 	}
 	return t, nil

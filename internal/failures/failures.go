@@ -1,26 +1,44 @@
 // Package failures models the failure scenarios a congestion-free plan
 // must survive. A failure Set is a collection of failure units (a
-// single link, a shared-risk link group, or a node — i.e., all links
-// incident to it) plus a budget f: any f or fewer units may fail
-// simultaneously (paper §3.2, §3.5).
+// single link, a shared-risk link group, a node — i.e., all links
+// incident to it — or a region) plus a budget f: any f or fewer units
+// may fail simultaneously (paper §3.2, §3.5).
+//
+// A unit either kills its links outright (Alpha == 0, the paper's
+// setting) or degrades them: with Alpha ∈ (0,1) the unit's links stay
+// up but their capacity is scaled by Alpha for the duration of the
+// scenario. Degradation models partial fiber cuts and wireless links
+// (PAPERS.md, the wireless-R3 line of work) where binary death is too
+// pessimistic.
 //
 // The Set has two consumers: the optimization models in internal/core
 // turn it into an adversary polytope (the LP relaxation of the scenario
 // set), and the validators/optimal-response code enumerate its integral
-// scenarios exhaustively.
+// scenarios exhaustively. For sets too large to enumerate, ProbModel
+// (prob.go) attaches per-unit failure probabilities and supports
+// seeded sampling of the un-enumerated tail with an explicit coverage
+// bound.
 package failures
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
 	"sort"
 
 	"pcf/internal/topology"
 )
 
-// Unit is an atomic failure event: all of its links die together.
+// Unit is an atomic failure event. With Alpha == 0 all of its links
+// die together; with Alpha ∈ (0,1) its links survive but run at
+// Alpha times their nominal capacity while the unit is failed.
 type Unit struct {
 	Name  string
 	Links []topology.LinkID
+	// Alpha is the capacity scale the unit's links suffer when it
+	// fails: 0 means the links die (binary failure), a value in (0,1)
+	// means they stay alive at Alpha times nominal capacity.
+	Alpha float64
 }
 
 // Set is a family of failure scenarios: any subset of at most Budget
@@ -88,15 +106,25 @@ func Nodes(g *topology.Graph, nodes []topology.NodeID, f int) *Set {
 	return &Set{Units: units, Budget: f}
 }
 
-// Scenario is one concrete failure state: a set of dead links.
+// Scenario is one concrete failure state: a set of dead links plus a
+// set of degraded links with their capacity scales.
 type Scenario struct {
 	// FailedUnits indexes into Set.Units.
 	FailedUnits []int
 	// Dead marks dead links.
 	Dead map[topology.LinkID]bool
+	// Degraded maps links that survive at reduced capacity to their
+	// capacity scale in (0,1). A link that is both dead (via one unit)
+	// and degraded (via another) is dead; Dead wins and the link does
+	// not appear here. Nil for pure-death scenarios, so the zero
+	// Scenario and all pre-existing construction sites keep their
+	// meaning.
+	Degraded map[topology.LinkID]float64
 }
 
-// Alive reports whether a path survives the scenario.
+// Alive reports whether a path survives the scenario. Degraded links
+// count as alive: their tunnels keep carrying traffic, only the
+// capacity checks tighten.
 func (s Scenario) Alive(p topology.Path) bool {
 	for _, a := range p.Arcs {
 		if s.Dead[topology.LinkOf(a)] {
@@ -109,11 +137,24 @@ func (s Scenario) Alive(p topology.Path) bool {
 // LinkAlive reports whether a single link survives.
 func (s Scenario) LinkAlive(l topology.LinkID) bool { return !s.Dead[l] }
 
-// String renders the scenario compactly, naming both the failed units
-// and the resulting dead links so error messages identify the exact
-// failure state.
+// CapScale returns the capacity multiplier the scenario applies to a
+// link: 0 if the link is dead, its degradation scale if degraded, and
+// 1 otherwise.
+func (s Scenario) CapScale(l topology.LinkID) float64 {
+	if s.Dead[l] {
+		return 0
+	}
+	if a, ok := s.Degraded[l]; ok {
+		return a
+	}
+	return 1
+}
+
+// String renders the scenario compactly, naming the failed units, the
+// resulting dead links, and any degraded links so error messages
+// identify the exact failure state.
 func (s Scenario) String() string {
-	if len(s.FailedUnits) == 0 && len(s.Dead) == 0 {
+	if len(s.FailedUnits) == 0 && len(s.Dead) == 0 && len(s.Degraded) == 0 {
 		return "{no failure}"
 	}
 	links := make([]int, 0, len(s.Dead))
@@ -121,25 +162,66 @@ func (s Scenario) String() string {
 		links = append(links, int(l))
 	}
 	sort.Ints(links)
-	if len(s.FailedUnits) == 0 {
-		return fmt.Sprintf("{dead links %v}", links)
+	var deg string
+	if len(s.Degraded) > 0 {
+		ids := make([]int, 0, len(s.Degraded))
+		for l := range s.Degraded {
+			ids = append(ids, int(l))
+		}
+		sort.Ints(ids)
+		parts := make([]string, len(ids))
+		for i, l := range ids {
+			parts[i] = fmt.Sprintf("%d@%.3g", l, s.Degraded[topology.LinkID(l)])
+		}
+		deg = fmt.Sprintf(", degraded %v", parts)
 	}
-	return fmt.Sprintf("{units %v, dead links %v}", s.FailedUnits, links)
+	if len(s.FailedUnits) == 0 {
+		return fmt.Sprintf("{dead links %v%s}", links, deg)
+	}
+	return fmt.Sprintf("{units %v, dead links %v%s}", s.FailedUnits, links, deg)
 }
 
-// scenario materializes the dead-link set for a unit combination.
-func (fs *Set) scenario(combo []int) Scenario {
+// ScenarioOf materializes the dead- and degraded-link state for a unit
+// combination. Death units win over degrade units on shared links, and
+// two degrade units sharing a link compose by taking the worse
+// (smaller) scale.
+func (fs *Set) ScenarioOf(combo []int) Scenario {
 	sc := Scenario{
 		FailedUnits: append([]int(nil), combo...),
 		Dead:        make(map[topology.LinkID]bool),
 	}
 	for _, u := range combo {
-		for _, l := range fs.Units[u].Links {
+		unit := fs.Units[u]
+		if unit.Alpha > 0 {
+			continue
+		}
+		for _, l := range unit.Links {
 			sc.Dead[l] = true
+		}
+	}
+	for _, u := range combo {
+		unit := fs.Units[u]
+		if unit.Alpha <= 0 {
+			continue
+		}
+		for _, l := range unit.Links {
+			if sc.Dead[l] {
+				continue
+			}
+			if sc.Degraded == nil {
+				sc.Degraded = make(map[topology.LinkID]float64)
+			}
+			if cur, ok := sc.Degraded[l]; !ok || unit.Alpha < cur {
+				sc.Degraded[l] = unit.Alpha
+			}
 		}
 	}
 	return sc
 }
+
+// scenario is the original unexported spelling, kept for the internal
+// call sites.
+func (fs *Set) scenario(combo []int) Scenario { return fs.ScenarioOf(combo) }
 
 // Enumerate calls fn for every scenario with at most Budget failed
 // units, including the no-failure scenario. If fn returns false the
@@ -175,25 +257,54 @@ func (fs *Set) Count() int {
 }
 
 // NumScenariosExact returns C(n, k) summed for k = 0..Budget without
-// enumerating, for sizing reports.
+// enumerating, for sizing reports. The count saturates at
+// math.MaxInt64: synth-scale sets (10k units, f ≥ 5) overflow the
+// naive product, and a saturated sizing report is more useful than a
+// negative one. Use NumScenarios to detect saturation.
 func (fs *Set) NumScenariosExact() int {
-	n := len(fs.Units)
-	total := 0
-	for k := 0; k <= fs.Budget && k <= n; k++ {
-		total += binomial(n, k)
-	}
-	return total
+	n, _ := fs.NumScenarios()
+	return int(n)
 }
 
-func binomial(n, k int) int {
+// NumScenarios returns the scenario count and whether it is exact;
+// false means the true count exceeds math.MaxInt64 and the returned
+// value is saturated there.
+func (fs *Set) NumScenarios() (int64, bool) {
+	n := len(fs.Units)
+	var total int64
+	exact := true
+	for k := 0; k <= fs.Budget && k <= n; k++ {
+		c, ok := binomial(n, k)
+		if !ok || total > math.MaxInt64-c {
+			return math.MaxInt64, false
+		}
+		exact = exact && ok
+		total += c
+	}
+	return total, exact
+}
+
+// binomial computes C(n, k) with int64 saturation: the second return
+// is false when the value (or an intermediate product) exceeds
+// math.MaxInt64, in which case math.MaxInt64 is returned.
+func binomial(n, k int) (int64, bool) {
+	if k < 0 || k > n {
+		return 0, true
+	}
 	if k > n-k {
 		k = n - k
 	}
-	c := 1
+	c := int64(1)
 	for i := 0; i < k; i++ {
-		c = c * (n - i) / (i + 1)
+		m := int64(n - i)
+		// c*(n-i) is always divisible by (i+1) at this step, so the
+		// division keeps c integral; only the product can overflow.
+		if m > 0 && c > math.MaxInt64/m {
+			return math.MaxInt64, false
+		}
+		c = c * m / int64(i+1)
 	}
-	return c
+	return c, true
 }
 
 // UnitsOf returns, for each link, the unit indices containing it.
@@ -205,6 +316,156 @@ func (fs *Set) UnitsOf(numLinks int) [][]int {
 		}
 	}
 	return out
+}
+
+// HasDegradation reports whether any unit degrades rather than kills
+// its links, i.e. whether scenarios from this set can carry Degraded
+// entries.
+func (fs *Set) HasDegradation() bool {
+	if fs == nil {
+		return false
+	}
+	for _, u := range fs.Units {
+		if u.Alpha > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// WorstCapScale returns the smallest capacity scale any single
+// scenario in the set can impose on a link while the link stays alive:
+// the minimum Alpha over degrade units containing it (1 if none, or if
+// the budget admits no failures at all). Death units are excluded —
+// a dead link carries no flow, so its capacity constraint is vacuous —
+// and because two degrade units sharing a link compose by min, the
+// worst scale over every ≤Budget combination is achieved by a single
+// unit, making this bound exact for any Budget ≥ 1.
+func (fs *Set) WorstCapScale(l topology.LinkID) float64 {
+	if fs == nil || fs.Budget < 1 {
+		return 1
+	}
+	scale := 1.0
+	for _, u := range fs.Units {
+		if u.Alpha <= 0 || u.Alpha >= scale {
+			continue
+		}
+		for _, ul := range u.Links {
+			if ul == l {
+				scale = u.Alpha
+				break
+			}
+		}
+	}
+	return scale
+}
+
+// Degrade returns a copy of the set in which every unit degrades its
+// links to alpha times nominal capacity instead of killing them.
+// alpha must lie in (0,1).
+func (fs *Set) Degrade(alpha float64) *Set {
+	units := make([]Unit, len(fs.Units))
+	for i, u := range fs.Units {
+		units[i] = Unit{Name: u.Name, Links: u.Links, Alpha: alpha}
+	}
+	return &Set{Units: units, Budget: fs.Budget}
+}
+
+// RegionalOptions configures the correlated regional failure
+// generator.
+type RegionalOptions struct {
+	// Regions is the number of regional units to generate.
+	Regions int
+	// Radius is the hop radius of each region: a region centered on
+	// node c contains every link both of whose endpoints are within
+	// Radius hops of c. Hop distance stands in for geography — the
+	// synth generators (waxman in particular) wire nearby nodes
+	// together, so hop balls are spatially coherent there, and the
+	// model needs no coordinates on real topologies.
+	Radius int
+	// Budget is the failure budget over units.
+	Budget int
+	// Alpha, when in (0,1), makes regions degrade their links to
+	// Alpha times capacity instead of killing them.
+	Alpha float64
+	// Seed drives center selection; the same (graph, options) pair
+	// always yields the same set.
+	Seed int64
+	// Singletons adds a singleton death unit for every link not
+	// covered by any region, so isolated links can still fail.
+	Singletons bool
+}
+
+// Regional returns a correlated failure model for g: Regions hop-ball
+// regions around seeded, deterministically chosen centers, each a unit
+// that fails (or degrades) all its links together. Centers are sampled
+// without replacement; if the graph has fewer nodes than Regions, every
+// node centers a region.
+func Regional(g *topology.Graph, o RegionalOptions) *Set {
+	rng := rand.New(rand.NewSource(o.Seed))
+	nn := g.NumNodes()
+	k := o.Regions
+	if k > nn {
+		k = nn
+	}
+	perm := rng.Perm(nn)
+	centers := perm[:k]
+	sort.Ints(centers)
+
+	var units []Unit
+	covered := make(map[topology.LinkID]bool)
+	for _, c := range centers {
+		within := hopBall(g, topology.NodeID(c), o.Radius)
+		var links []topology.LinkID
+		for i := 0; i < g.NumLinks(); i++ {
+			l := g.Link(topology.LinkID(i))
+			if within[l.A] && within[l.B] {
+				links = append(links, topology.LinkID(i))
+			}
+		}
+		if len(links) == 0 {
+			continue
+		}
+		for _, l := range links {
+			covered[l] = true
+		}
+		units = append(units, Unit{
+			Name:  fmt.Sprintf("region%d", c),
+			Links: links,
+			Alpha: o.Alpha,
+		})
+	}
+	if o.Singletons {
+		for i := 0; i < g.NumLinks(); i++ {
+			if !covered[topology.LinkID(i)] {
+				units = append(units, Unit{
+					Name:  fmt.Sprintf("link%d", i),
+					Links: []topology.LinkID{topology.LinkID(i)},
+				})
+			}
+		}
+	}
+	return &Set{Units: units, Budget: o.Budget}
+}
+
+// hopBall returns the set of nodes within radius hops of center.
+func hopBall(g *topology.Graph, center topology.NodeID, radius int) map[topology.NodeID]bool {
+	within := map[topology.NodeID]bool{center: true}
+	frontier := []topology.NodeID{center}
+	for d := 0; d < radius && len(frontier) > 0; d++ {
+		var next []topology.NodeID
+		for _, n := range frontier {
+			for _, a := range g.OutArcs(n) {
+				_, to := g.ArcEnds(a)
+				if !within[to] {
+					within[to] = true
+					next = append(next, to)
+				}
+			}
+		}
+		frontier = next
+	}
+	return within
 }
 
 // Disconnects reports whether some scenario in the set disconnects the

@@ -1,0 +1,63 @@
+package failures
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadSRLGs drives the SRLG parser with arbitrary input, mirroring
+// FuzzReadLinks in internal/topology. The parser must never panic, and
+// any spec list it accepts must satisfy the invariants SRLGSet relies
+// on: at least one group, every group non-empty with distinct in-range
+// links, alphas strictly inside (0,1) or exactly zero.
+func FuzzReadSRLGs(f *testing.F) {
+	seeds := []string{
+		"0 3 7\n",
+		"# comment\n\n0 1\nalpha=0.5 2 4\n",
+		"alpha=0.25 0\n",
+		"1\n2\n3\n",
+		"0 0\n",         // duplicate in group: rejected
+		"9\n",           // out of range: rejected
+		"-1\n",          // negative: rejected
+		"alpha=1.5 0\n", // alpha out of range: rejected
+		"alpha=0 0\n",   // alpha zero: rejected
+		"alpha=NaN 0\n", // NaN alpha: rejected
+		"alpha=0.5\n",   // no links: rejected
+		"x y\n",         // non-numeric: rejected
+		"",              // empty: rejected
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	const numLinks = 8
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 1<<12 {
+			return
+		}
+		specs, err := ReadSRLGs(strings.NewReader(in), numLinks)
+		if err != nil {
+			return
+		}
+		if len(specs) == 0 {
+			t.Fatal("accepted input with no groups")
+		}
+		for i, sp := range specs {
+			if len(sp.Links) == 0 {
+				t.Fatalf("group %d has no links", i)
+			}
+			seen := map[int]bool{}
+			for _, l := range sp.Links {
+				if l < 0 || int(l) >= numLinks {
+					t.Fatalf("group %d: link %d out of range", i, l)
+				}
+				if seen[int(l)] {
+					t.Fatalf("group %d: duplicate link %d", i, l)
+				}
+				seen[int(l)] = true
+			}
+			if !(sp.Alpha == 0 || (sp.Alpha > 0 && sp.Alpha < 1)) {
+				t.Fatalf("group %d: alpha %g outside {0} ∪ (0,1)", i, sp.Alpha)
+			}
+		}
+	})
+}

@@ -452,19 +452,26 @@ func OptimalUnderFailuresStats(ctx context.Context, g *topology.Graph, tm *traff
 }
 
 // sweepSolve re-solves the compiled base MCF under one scenario by
-// zeroing the dead arcs' capacity rows (restored before returning),
-// warm-starting from the supplied basis.
+// toggling the affected arcs' capacity rows (restored before
+// returning), warm-starting from the supplied basis: dead arcs drop to
+// zero capacity, degraded arcs to their scenario scale times the
+// nominal RHS.
 func sweepSolve(ctx context.Context, comp *lp.Compiled, fm *flowModel, sc failures.Scenario, basis *lp.Basis) (float64, *lp.Solution, error) {
 	var touched []int
 	var saved []float64
 	for a := 0; a < fm.numArcs; a++ {
 		row := fm.capRow[a]
-		if row < 0 || !sc.Dead[topology.LinkOf(topology.ArcID(a))] {
+		if row < 0 {
+			continue
+		}
+		scale := sc.CapScale(topology.LinkOf(topology.ArcID(a)))
+		if scale >= 1 {
 			continue
 		}
 		touched = append(touched, row)
-		saved = append(saved, comp.RowRHS(row))
-		comp.SetRowRHS(row, 0)
+		rhs := comp.RowRHS(row)
+		saved = append(saved, rhs)
+		comp.SetRowRHS(row, rhs*scale)
 	}
 	defer func() {
 		for k, row := range touched {

@@ -389,17 +389,38 @@ func RealizeProportional(plan *core.Plan, sc failures.Scenario) (*Realization, e
 	return res, nil
 }
 
+// ScenarioCapacity returns an arc's capacity under a scenario: the
+// nominal capacity scaled by the scenario's degradation for the arc's
+// link (0 for dead links, α for degraded ones, nominal otherwise).
+func ScenarioCapacity(g *topology.Graph, sc failures.Scenario, a topology.ArcID) float64 {
+	return g.ArcCapacity(a) * sc.CapScale(topology.LinkOf(a))
+}
+
+// MLUOf returns the maximum link utilization of a realization under
+// its scenario's capacities. Degraded links divide their load by the
+// scaled capacity; dead links carry no flow and are skipped.
+func MLUOf(g *topology.Graph, r *Realization) float64 {
+	mlu := 0.0
+	for a, load := range r.ArcLoad {
+		if c := ScenarioCapacity(g, r.Scenario, topology.ArcID(a)); c > 0 {
+			if u := load / c; u > mlu {
+				mlu = u
+			}
+		}
+	}
+	return mlu
+}
+
 // CheckRealization verifies Proposition 6's properties for one
 // realization: per-destination flow conservation at every node, and
-// arc loads within capacity.
+// arc loads within the scenario's (possibly degraded) capacity.
 func CheckRealization(plan *core.Plan, r *Realization) error {
 	in := plan.Instance
 	g := in.Graph
 	for a := 0; a < g.NumArcs(); a++ {
-		if r.ArcLoad[a] > g.ArcCapacity(topology.ArcID(a))+1e-6 {
+		if c := ScenarioCapacity(g, r.Scenario, topology.ArcID(a)); r.ArcLoad[a] > c+1e-6 {
 			return fmt.Errorf("routing: arc %d (link %d) overloaded: %g > %g under scenario %v",
-				a, topology.LinkOf(topology.ArcID(a)), r.ArcLoad[a],
-				g.ArcCapacity(topology.ArcID(a)), r.Scenario)
+				a, topology.LinkOf(topology.ArcID(a)), r.ArcLoad[a], c, r.Scenario)
 		}
 	}
 	for dst, flows := range r.TunnelTo {

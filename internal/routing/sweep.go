@@ -539,10 +539,9 @@ func (s *Sweep) Check(r *Realization) error {
 	in := s.plan.Instance
 	g := in.Graph
 	for a := 0; a < g.NumArcs(); a++ {
-		if r.ArcLoad[a] > g.ArcCapacity(topology.ArcID(a))+1e-6 {
+		if c := ScenarioCapacity(g, r.Scenario, topology.ArcID(a)); r.ArcLoad[a] > c+1e-6 {
 			return fmt.Errorf("routing: arc %d (link %d) overloaded: %g > %g under scenario %v",
-				a, topology.LinkOf(topology.ArcID(a)), r.ArcLoad[a],
-				g.ArcCapacity(topology.ArcID(a)), r.Scenario)
+				a, topology.LinkOf(topology.ArcID(a)), r.ArcLoad[a], c, r.Scenario)
 		}
 	}
 	net := make([]float64, g.NumNodes())
@@ -652,7 +651,12 @@ func (s *Sweep) invCol(r int) ([]float64, error) {
 // upsKey serializes a scenario's row updates into the byte signature
 // that batches SMW corrections: scenarios whose failed links produce
 // the same rows, columns, and bit-identical delta values share one
-// capacitance factorization.
+// capacitance factorization. The signature is built from dead links
+// only, and deliberately so: degradation (Scenario.Degraded) scales
+// capacities but never touches the reservation matrix, so scenarios
+// differing only in degraded links share the same linear system — and
+// the same batch entry. Capacity effects apply downstream, where MLUOf
+// and the overload checks divide by ScenarioCapacity.
 func upsKey(ups []linsolve.RowUpdate) string {
 	sz := 0
 	for _, up := range ups {
@@ -1110,17 +1114,28 @@ type sweepSlot struct {
 // in order so worker scheduling never changes an answer. A nil ctx
 // means no deadline.
 func runSweep(ctx context.Context, plan *core.Plan, opts ValidateOptions, check bool) ([]failures.Scenario, []sweepSlot, *SweepStats, error) {
-	start := time.Now()
-	stats := &SweepStats{}
 	var scenarios []failures.Scenario
 	plan.Instance.Failures.Enumerate(func(sc failures.Scenario) bool {
 		scenarios = append(scenarios, sc)
 		return true
 	})
+	slots, stats, err := sweepScenarios(ctx, plan, opts, check, true, scenarios)
+	return scenarios, slots, stats, err
+}
+
+// sweepScenarios is runSweep's engine over an explicit scenario list
+// (the sampled-validation path feeds pre-drawn tail scenarios through
+// it). stopOnError selects the designed-set contract — a worker bails
+// at its first failing scenario — while the sampled path sets it false
+// and keeps sweeping, since beyond-budget scenarios are expected to
+// fail sometimes and each outcome is a measurement, not an abort.
+func sweepScenarios(ctx context.Context, plan *core.Plan, opts ValidateOptions, check, stopOnError bool, scenarios []failures.Scenario) ([]sweepSlot, *SweepStats, error) {
+	start := time.Now()
+	stats := &SweepStats{}
 	stats.Scenarios = len(scenarios)
 	if len(scenarios) == 0 {
 		stats.Total = time.Since(start)
-		return nil, nil, stats, nil
+		return nil, stats, nil
 	}
 
 	var sw *Sweep
@@ -1129,7 +1144,7 @@ func runSweep(ctx context.Context, plan *core.Plan, opts ValidateOptions, check 
 		sw, err = NewSweepContext(ctx, plan)
 		if err != nil {
 			stats.Total = time.Since(start)
-			return nil, nil, stats, err
+			return nil, stats, err
 		}
 		stats.BaseFactorTime = sw.baseTime
 		stats.SparseBase = sw.slu != nil
@@ -1200,17 +1215,12 @@ func runSweep(ctx context.Context, plan *core.Plan, opts ValidateOptions, check 
 				slots[i].done = true
 				if err != nil {
 					slots[i].err = err
-					return
-				}
-				mlu := 0.0
-				for a, load := range r.ArcLoad {
-					if c := g.ArcCapacity(topology.ArcID(a)); c > 0 {
-						if u := load / c; u > mlu {
-							mlu = u
-						}
+					if stopOnError {
+						return
 					}
+					continue
 				}
-				slots[i].mlu = mlu
+				slots[i].mlu = MLUOf(g, r)
 			}
 		}(w)
 	}
@@ -1226,7 +1236,7 @@ func runSweep(ctx context.Context, plan *core.Plan, opts ValidateOptions, check 
 		stats.BatchHits = int(sw.batchHits.Load())
 	}
 	stats.Total = time.Since(start)
-	return scenarios, slots, stats, nil
+	return slots, stats, nil
 }
 
 // Validate replays every scenario of the plan's designed failure set,

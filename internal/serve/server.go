@@ -6,7 +6,9 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"math"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"strings"
@@ -649,23 +651,55 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// parseScenario reads ?links=3,7,12 into a failure scenario over the
-// instance's topology.
+// parseScenario reads ?links=3,7,12 (dead links) and
+// ?degraded=4@0.5,9@0.25 (links at a fraction of nominal capacity)
+// into a failure scenario over the instance's topology. A link listed
+// in both is dead; dead wins.
 func (s *Server) parseScenario(r *http.Request) (failures.Scenario, error) {
 	sc := failures.Scenario{Dead: map[topology.LinkID]bool{}}
-	raw := strings.TrimSpace(r.URL.Query().Get("links"))
-	if raw == "" {
-		return sc, nil
-	}
-	for _, part := range strings.Split(raw, ",") {
+	parseID := func(part string) (topology.LinkID, error) {
 		id, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
-			return sc, fmt.Errorf("serve: bad link id %q: %w", part, err)
+			return 0, fmt.Errorf("serve: bad link id %q: %w", part, err)
 		}
 		if id < 0 || id >= s.inst.Graph.NumLinks() {
-			return sc, fmt.Errorf("serve: link id %d out of range [0,%d)", id, s.inst.Graph.NumLinks())
+			return 0, fmt.Errorf("serve: link id %d out of range [0,%d)", id, s.inst.Graph.NumLinks())
 		}
-		sc.Dead[topology.LinkID(id)] = true
+		return topology.LinkID(id), nil
+	}
+	if raw := strings.TrimSpace(r.URL.Query().Get("links")); raw != "" {
+		for _, part := range strings.Split(raw, ",") {
+			l, err := parseID(part)
+			if err != nil {
+				return sc, err
+			}
+			sc.Dead[l] = true
+		}
+	}
+	if raw := strings.TrimSpace(r.URL.Query().Get("degraded")); raw != "" {
+		for _, part := range strings.Split(raw, ",") {
+			idStr, alphaStr, ok := strings.Cut(strings.TrimSpace(part), "@")
+			if !ok {
+				return sc, fmt.Errorf("serve: degraded entry %q is not id@alpha", part)
+			}
+			l, err := parseID(idStr)
+			if err != nil {
+				return sc, err
+			}
+			alpha, err := strconv.ParseFloat(alphaStr, 64)
+			if err != nil || math.IsNaN(alpha) || alpha <= 0 || alpha >= 1 {
+				return sc, fmt.Errorf("serve: degraded scale %q outside (0,1)", alphaStr)
+			}
+			if sc.Dead[l] {
+				continue
+			}
+			if sc.Degraded == nil {
+				sc.Degraded = map[topology.LinkID]float64{}
+			}
+			if cur, ok := sc.Degraded[l]; !ok || alpha < cur {
+				sc.Degraded[l] = alpha
+			}
+		}
 	}
 	return sc, nil
 }
@@ -719,15 +753,7 @@ func (s *Server) handleRealize(w http.ResponseWriter, r *http.Request) {
 			maxU = u
 		}
 	}
-	mlu := 0.0
-	g := s.inst.Graph
-	for a, load := range real.ArcLoad {
-		if c := g.ArcCapacity(topology.ArcID(a)); c > 0 {
-			if u := load / c; u > mlu {
-				mlu = u
-			}
-		}
-	}
+	mlu := routing.MLUOf(s.inst.Graph, real)
 	var deadLinks []int
 	for l, dead := range sc.Dead {
 		if dead {
@@ -775,10 +801,41 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	stats, err := routing.ValidateStats(ctx, pub.Plan, routing.ValidateOptions{})
+	q := r.URL.Query()
+	model := q.Get("model")
+	if model == "" {
+		model = "exact"
+	}
+	var stats *routing.SweepStats
+	var rep *routing.SampledReport
+	switch model {
+	case "exact":
+		stats, err = routing.ValidateStats(ctx, pub.Plan, routing.ValidateOptions{})
+	case "sampled":
+		var opts routing.SampleOptions
+		opts, err = s.sampleOptions(q, pub.Plan)
+		if err != nil {
+			tr.rec.Outcome = "error"
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			writeJSON(w, map[string]any{"error": err.Error()})
+			return
+		}
+		rep, err = routing.ValidateSampled(ctx, pub.Plan, opts)
+		if rep != nil {
+			stats = &rep.Stats
+		}
+	default:
+		tr.rec.Outcome = "error"
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		writeJSON(w, map[string]any{"error": fmt.Sprintf("serve: unknown scenario model %q (want exact or sampled)", model)})
+		return
+	}
 	valRec := telemetry.Record{
 		Kind:    telemetry.KindValidate,
 		Source:  s.cfg.Source,
+		Name:    model,
 		Scheme:  pub.Scheme,
 		Epoch:   pub.Epoch,
 		Outcome: outcomeOf(err),
@@ -787,6 +844,14 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		valRec.Fields = stats.Metrics()
 		valRec.Dur = stats.Total
 	}
+	if rep != nil {
+		// Coverage fields ride on the same record, so the telemetry
+		// query surface exposes the (ε, δ) bound next to the sweep
+		// statistics.
+		for k, v := range rep.Coverage.Metrics() {
+			valRec.Fields[k] = v
+		}
+	}
 	s.emit.Emit(valRec)
 	if err != nil {
 		s.writeError(tr, w, ClassRealize, err)
@@ -794,13 +859,68 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-PCF-Epoch", strconv.FormatUint(pub.Epoch, 10))
-	writeJSON(w, map[string]any{
+	resp := map[string]any{
 		"epoch":     pub.Epoch,
 		"valid":     true,
+		"model":     model,
 		"scenarios": stats.Scenarios,
 		"smw_hits":  stats.SMWHits,
 		"fallbacks": stats.Fallbacks,
-	})
+	}
+	if rep != nil {
+		resp["coverage"] = rep.Coverage
+		resp["coverage_summary"] = rep.Coverage.String()
+		resp["worst_mlu"] = rep.WorstMLU
+	}
+	writeJSON(w, resp)
+}
+
+// sampleOptions parses the sampled-model query knobs: p (uniform unit
+// failure probability), samples, delta, seed, kcap.
+func (s *Server) sampleOptions(q url.Values, plan *core.Plan) (routing.SampleOptions, error) {
+	opts := routing.SampleOptions{}
+	p := 0.01
+	if raw := q.Get("p"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return opts, fmt.Errorf("serve: bad unit probability %q: %w", raw, err)
+		}
+		p = v
+	}
+	pm, err := failures.Uniform(plan.Instance.Failures, p)
+	if err != nil {
+		return opts, err
+	}
+	opts.Model = pm
+	if raw := q.Get("samples"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			return opts, fmt.Errorf("serve: bad sample count %q: %w", raw, err)
+		}
+		opts.Samples = v
+	}
+	if raw := q.Get("delta"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || math.IsNaN(v) || v <= 0 || v >= 1 {
+			return opts, fmt.Errorf("serve: delta %q outside (0,1)", raw)
+		}
+		opts.Delta = v
+	}
+	if raw := q.Get("seed"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return opts, fmt.Errorf("serve: bad seed %q: %w", raw, err)
+		}
+		opts.Seed = v
+	}
+	if raw := q.Get("kcap"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			return opts, fmt.Errorf("serve: bad kcap %q: %w", raw, err)
+		}
+		opts.KCap = v
+	}
+	return opts, nil
 }
 
 func (s *Server) handleOptimal(w http.ResponseWriter, r *http.Request) {

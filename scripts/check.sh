@@ -60,4 +60,12 @@ echo "== fleet chaos smoke (-race -short)"
 # exercises the kill/partition/tear schedule the same way CI does.
 go test -race -short -count=1 -run 'TestFleetChaosSoak' ./internal/fleet/
 
+echo "== sampled-validation determinism (-count=2)"
+# The coverage report of a sampled validation must be byte-identical
+# for the same seed, run after run, regardless of sweep-worker
+# scheduling (DESIGN.md §18). -count=2 forces two fresh runs of the
+# determinism property so a time- or schedule-dependent regression
+# cannot hide behind Go's test result cache.
+go test -race -count=2 -run 'TestSampledCoverageDeterminism|TestSamplerSeedDeterminism' ./internal/routing/ ./internal/failures/
+
 echo "OK"
